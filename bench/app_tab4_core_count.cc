@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces the appendix's Table 4: sensitivity to the number of
+ * cores (8, 16, 24, 32), at the 2X workload, throughput change
+ * relative to the Linux baseline with the same core count.
+ *
+ * Paper: SchedTask +18/+27/+27/+23% gmean for 8/16/24/32 cores;
+ * DisAggregateOS and SLICC struggle at low core counts (regions/
+ * collectives cannot be cut finely enough).
+ */
+
+#include <cstdio>
+
+#include "common/math_utils.hh"
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "stats/table.hh"
+#include "workload/benchmarks.hh"
+
+using namespace schedtask;
+
+int
+main()
+{
+    printHeader("Appendix Table 4: impact of the core count on "
+                "throughput change (%)");
+
+    const std::vector<unsigned> core_counts = {8, 16, 24, 32};
+
+    for (unsigned cores : core_counts) {
+        std::vector<std::string> headers = {"technique"};
+        for (const std::string &b : BenchmarkSuite::benchmarkNames())
+            headers.push_back(b);
+        headers.push_back("gmean");
+        TextTable table(headers);
+
+        std::vector<std::vector<std::string>> rows;
+        std::vector<std::vector<double>> vals(
+            comparedTechniques().size());
+        for (Technique t : comparedTechniques())
+            rows.push_back({std::string(techniqueName(t))});
+
+        for (const std::string &bench :
+             BenchmarkSuite::benchmarkNames()) {
+            ExperimentConfig cfg = ExperimentConfig::standard(bench);
+            cfg.baselineCores = cores;
+            const RunResult base = runOnce(cfg, Technique::Linux);
+            for (std::size_t ti = 0;
+                 ti < comparedTechniques().size(); ++ti) {
+                const RunResult run =
+                    runOnce(cfg, comparedTechniques()[ti]);
+                const double perf =
+                    percentChange(base.instThroughput(),
+                                  run.instThroughput());
+                rows[ti].push_back(TextTable::pct(perf, 0));
+                vals[ti].push_back(perf);
+                std::fprintf(stderr, ".");
+            }
+            std::fprintf(stderr, " %s@%u cores done\n",
+                         bench.c_str(), cores);
+        }
+        for (std::size_t ti = 0; ti < comparedTechniques().size();
+             ++ti) {
+            rows[ti].push_back(TextTable::pct(
+                geometricMeanPercent(vals[ti]), 0));
+            table.addRow(rows[ti]);
+        }
+        std::printf("\n-- %u cores --\n%s", cores,
+                    table.render().c_str());
+    }
+    return 0;
+}

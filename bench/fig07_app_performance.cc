@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Figure 7: change in application performance (%) of the
+ * five core-specialization techniques relative to the Linux
+ * baseline, for the 8 OS-intensive benchmarks at the doubled (2X)
+ * ensemble workload of Section 6.1.
+ *
+ * Application performance is application-specific events per second
+ * (inodes searched, packets copied, pages served, queries done,
+ * file/mail operations completed).
+ *
+ * Paper reference (gmean over the 8 benchmarks): SelectiveOffload
+ * +10.6%, FlexSC -75% (single-threaded collapse; +10.1% for the
+ * multi-threaded benchmarks alone), DisAggregateOS +9.5%, SLICC
+ * +11.4%, SchedTask +22.8%.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "workload/benchmarks.hh"
+
+using namespace schedtask;
+
+int
+main()
+{
+    printHeader("Figure 7: change in application performance (%) "
+                "vs Linux baseline, 2X workload");
+
+    const auto &benchmarks = BenchmarkSuite::benchmarkNames();
+    std::vector<std::string> technique_names;
+    for (Technique t : comparedTechniques())
+        technique_names.push_back(techniqueName(t));
+
+    SeriesMatrix matrix(benchmarks, technique_names);
+
+    for (const std::string &bench : benchmarks) {
+        const ExperimentConfig cfg = ExperimentConfig::standard(bench);
+        const RunResult base = runOnce(cfg, Technique::Linux);
+        for (Technique t : comparedTechniques()) {
+            const RunResult run = runOnce(cfg, t);
+            matrix.set(bench, techniqueName(t),
+                       percentChange(base.appPerformance(),
+                                     run.appPerformance()));
+            std::fprintf(stderr, ".");
+        }
+        std::fprintf(stderr, " %s done\n", bench.c_str());
+    }
+
+    std::printf("%s\n", matrix.renderWithGmean("benchmark").c_str());
+    std::printf("Paper gmean reference: SelectiveOffload +10.6, "
+                "FlexSC -75 (single-threaded collapse), "
+                "DisAggregateOS +9.5, SLICC +11.4, SchedTask +22.8\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Figure 8(a-f): the microarchitectural impact of the
+ * core-specialization techniques relative to the Linux baseline at
+ * the 2X workload:
+ *
+ *   (a) change in instruction throughput (%)
+ *   (b) fraction of idle time (%)        [absolute, per technique]
+ *   (c) change in i-cache hit rate, application code (pp)
+ *   (d) change in i-cache hit rate, OS code (pp)
+ *   (e) change in d-cache hit rate, application code (pp)
+ *   (f) change in d-cache hit rate, OS code (pp)
+ *
+ * Paper shapes: SchedTask best throughput (~+23% gmean) with ~0%
+ * idle; SelectiveOffload ~50% idle and the best application i-cache
+ * hit rate; FlexSC deeply negative on the single-threaded Find/
+ * Iscp/Oscp; SLICC strong cache hit rates but ~5% idle.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "workload/benchmarks.hh"
+
+using namespace schedtask;
+
+int
+main()
+{
+    const auto &benchmarks = BenchmarkSuite::benchmarkNames();
+    std::vector<std::string> technique_names;
+    for (Technique t : comparedTechniques())
+        technique_names.push_back(techniqueName(t));
+
+    SeriesMatrix throughput(benchmarks, technique_names);
+    SeriesMatrix idle(benchmarks, technique_names);
+    SeriesMatrix ihit_app(benchmarks, technique_names);
+    SeriesMatrix ihit_os(benchmarks, technique_names);
+    SeriesMatrix dhit_app(benchmarks, technique_names);
+    SeriesMatrix dhit_os(benchmarks, technique_names);
+
+    for (const std::string &bench : benchmarks) {
+        const ExperimentConfig cfg = ExperimentConfig::standard(bench);
+        const RunResult base = runOnce(cfg, Technique::Linux);
+        for (Technique t : comparedTechniques()) {
+            const RunResult run = runOnce(cfg, t);
+            const char *name = techniqueName(t);
+            throughput.set(bench, name,
+                           percentChange(base.instThroughput(),
+                                         run.instThroughput()));
+            idle.set(bench, name, run.idlePercent());
+            ihit_app.set(bench, name,
+                         pointChange(base.iHitApp, run.iHitApp));
+            ihit_os.set(bench, name,
+                        pointChange(base.iHitOs, run.iHitOs));
+            dhit_app.set(bench, name,
+                         pointChange(base.dHitApp, run.dHitApp));
+            dhit_os.set(bench, name,
+                        pointChange(base.dHitOs, run.dHitOs));
+            std::fprintf(stderr, ".");
+        }
+        std::fprintf(stderr, " %s done\n", bench.c_str());
+    }
+
+    printHeader("Figure 8a: change in instruction throughput (%)");
+    std::printf("%s", throughput.renderWithGmean("benchmark").c_str());
+    printHeader("Figure 8b: fraction of idle time (%)");
+    std::printf("%s", idle.render("benchmark").c_str());
+    printHeader("Figure 8c: change in i-cache hit rate, "
+                "application (pp)");
+    std::printf("%s", ihit_app.render("benchmark").c_str());
+    printHeader("Figure 8d: change in i-cache hit rate, OS (pp)");
+    std::printf("%s", ihit_os.render("benchmark").c_str());
+    printHeader("Figure 8e: change in d-cache hit rate, "
+                "application (pp)");
+    std::printf("%s", dhit_app.render("benchmark").c_str());
+    printHeader("Figure 8f: change in d-cache hit rate, OS (pp)");
+    std::printf("%s", dhit_os.render("benchmark").c_str());
+    return 0;
+}

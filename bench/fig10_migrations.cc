@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Figure 10: inter-core thread migrations per billion
+ * retired instructions, for the baseline and the five techniques.
+ *
+ * Paper shapes: the Linux baseline migrates minimally (it balances
+ * only on significant imbalance); the core-specialization
+ * techniques migrate orders of magnitude more, SLICC the most
+ * (hardware migration chasing i-cache content); migrations do not
+ * hurt when instruction/data locality rises with them.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "stats/table.hh"
+#include "workload/benchmarks.hh"
+
+using namespace schedtask;
+
+int
+main()
+{
+    printHeader("Figure 10: inter-core thread migrations per 1e9 "
+                "instructions, 2X workload");
+
+    std::vector<std::string> cols = {"Baseline"};
+    for (Technique t : comparedTechniques())
+        cols.push_back(techniqueName(t));
+
+    SeriesMatrix matrix(BenchmarkSuite::benchmarkNames(), cols);
+
+    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
+        const ExperimentConfig cfg = ExperimentConfig::standard(bench);
+        const RunResult base = runOnce(cfg, Technique::Linux);
+        matrix.set(bench, "Baseline",
+                   base.migrationsPerBillionInsts());
+        for (Technique t : comparedTechniques()) {
+            const RunResult run = runOnce(cfg, t);
+            matrix.set(bench, techniqueName(t),
+                       run.migrationsPerBillionInsts());
+            std::fprintf(stderr, ".");
+        }
+        std::fprintf(stderr, " %s done\n", bench.c_str());
+    }
+
+    std::printf("%s\n", matrix.render("benchmark", 0).c_str());
+    return 0;
+}

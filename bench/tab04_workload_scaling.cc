@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Table 4: the impact of the workload scale (1X, 2X, 4X,
+ * 8X the ensemble of Section 4.2) on the idle-time fraction and the
+ * instruction-throughput change of each technique, relative to the
+ * Linux baseline at the same scale.
+ *
+ * Paper shapes: SelectiveOffload pinned near 50% idle at every
+ * scale; DisAggregateOS and SLICC idle heavily at 1X (41%) and melt
+ * to ~0% by 4X; SchedTask's idle is low at 1X and near zero from 2X
+ * on, and it is the best performer at every scale from 2X up.
+ */
+
+#include <cstdio>
+
+#include "common/math_utils.hh"
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "stats/table.hh"
+#include "workload/benchmarks.hh"
+
+using namespace schedtask;
+
+int
+main()
+{
+    printHeader("Table 4: idle fraction (%) and throughput change "
+                "(%) by workload scale");
+
+    const std::vector<double> scales = {1.0, 2.0, 4.0, 8.0};
+    const auto &benchmarks = BenchmarkSuite::benchmarkNames();
+
+    for (double scale : scales) {
+        std::vector<std::string> headers = {"technique"};
+        for (const std::string &b : benchmarks)
+            headers.push_back(b);
+        headers.push_back("gmean");
+        TextTable table(headers);
+
+        // One row pair (Idle / Perf) per technique, paper layout.
+        std::vector<std::vector<std::string>> idle_rows, perf_rows;
+        for (Technique t : comparedTechniques()) {
+            idle_rows.push_back(
+                {std::string(techniqueName(t)) + " Idle"});
+            perf_rows.push_back(
+                {std::string(techniqueName(t)) + " Perf"});
+        }
+        std::vector<std::vector<double>> perf_vals(
+            comparedTechniques().size());
+
+        for (const std::string &bench : benchmarks) {
+            ExperimentConfig cfg =
+                ExperimentConfig::standard(bench, scale);
+            const RunResult base = runOnce(cfg, Technique::Linux);
+            for (std::size_t ti = 0;
+                 ti < comparedTechniques().size(); ++ti) {
+                const RunResult run =
+                    runOnce(cfg, comparedTechniques()[ti]);
+                idle_rows[ti].push_back(
+                    TextTable::num(run.idlePercent(), 0));
+                const double perf =
+                    percentChange(base.instThroughput(),
+                                  run.instThroughput());
+                perf_rows[ti].push_back(TextTable::pct(perf, 0));
+                perf_vals[ti].push_back(perf);
+                std::fprintf(stderr, ".");
+            }
+            std::fprintf(stderr, " %s@%gX done\n", bench.c_str(),
+                         scale);
+        }
+        for (std::size_t ti = 0; ti < comparedTechniques().size();
+             ++ti) {
+            idle_rows[ti].push_back("-");
+            perf_rows[ti].push_back(TextTable::pct(
+                geometricMeanPercent(perf_vals[ti]), 0));
+            table.addRow(idle_rows[ti]);
+            table.addRow(perf_rows[ti]);
+        }
+
+        std::printf("\n-- workload %gX --\n%s", scale,
+                    table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace schedtask
+{
+
+namespace
+{
+bool logQuiet = false;
+}
+
+void
+setLogQuiet(bool quiet)
+{
+    logQuiet = quiet;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!logQuiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!logQuiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace schedtask

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts so the condition can be debugged.
+ * fatal()  — the user asked for something impossible (bad
+ *            configuration); exits with an error code.
+ * warn()   — something is suspicious but simulation can continue.
+ * inform() — purely informational progress output.
+ */
+
+#ifndef SCHEDTASK_COMMON_LOGGING_HH
+#define SCHEDTASK_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace schedtask
+{
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message: simulator bug. */
+#define SCHEDTASK_PANIC(...) \
+    ::schedtask::detail::panicImpl(__FILE__, __LINE__, \
+        ::schedtask::detail::concat(__VA_ARGS__))
+
+/** Exit(1) with a message: user error. */
+#define SCHEDTASK_FATAL(...) \
+    ::schedtask::detail::fatalImpl(__FILE__, __LINE__, \
+        ::schedtask::detail::concat(__VA_ARGS__))
+
+/** Panic if a required invariant does not hold. */
+#define SCHEDTASK_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::schedtask::detail::panicImpl(__FILE__, __LINE__, \
+                ::schedtask::detail::concat("assertion failed: " #cond " ", \
+                                            ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Emit a warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Silence or restore warn()/inform() output (used by tests). */
+void setLogQuiet(bool quiet);
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_COMMON_LOGGING_HH

@@ -1,0 +1,119 @@
+#include "common/math_utils.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+double
+cosineSimilarity(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SCHEDTASK_ASSERT(a.size() == b.size(),
+                     "cosineSimilarity: length mismatch");
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double
+kendallTauB(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SCHEDTASK_ASSERT(a.size() == b.size(), "kendallTauB: length mismatch");
+    const std::size_t n = a.size();
+    if (n < 2)
+        return 0.0;
+
+    // O(n^2) pair enumeration. n here is the number of
+    // superFuncTypes being ranked (tens), so this is plenty fast
+    // and keeps the tie handling transparent.
+    long long concordant = 0, discordant = 0;
+    long long ties_a = 0, ties_b = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double da = a[i] - a[j];
+            const double db = b[i] - b[j];
+            if (da == 0.0 && db == 0.0) {
+                // tied in both: contributes to neither adjustment
+            } else if (da == 0.0) {
+                ++ties_a;
+            } else if (db == 0.0) {
+                ++ties_b;
+            } else if ((da > 0.0) == (db > 0.0)) {
+                ++concordant;
+            } else {
+                ++discordant;
+            }
+        }
+    }
+
+    const double n0 = static_cast<double>(n) * (n - 1) / 2.0;
+    const double denom = std::sqrt((n0 - ties_a) * (n0 - ties_b));
+    if (denom == 0.0)
+        return 0.0;
+    return static_cast<double>(concordant - discordant) / denom;
+}
+
+double
+jainFairness(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double sum = 0.0, sum_sq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0.0)
+        return 1.0;
+    return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        SCHEDTASK_ASSERT(x > 0.0, "geometricMean requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+geometricMeanPercent(const std::vector<double> &percents)
+{
+    if (percents.empty())
+        return 0.0;
+    std::vector<double> ratios;
+    ratios.reserve(percents.size());
+    for (double p : percents) {
+        // Clamp pathological losses (<-99.9%) so the log stays finite;
+        // the paper truncates such bars in its figures too.
+        ratios.push_back(std::max(1.0 + p / 100.0, 1e-3));
+    }
+    return (geometricMean(ratios) - 1.0) * 100.0;
+}
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace schedtask

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Statistical utilities used by the paper's methodology.
+ *
+ * - cosine similarity of instruction-breakup vectors (Section 4.4
+ *   and the 0.98 re-allocation guard in TAlloc, Section 5.2);
+ * - Kendall's tau-b rank correlation for comparing Bloom-filter
+ *   overlap rankings against exact rankings (Section 6.5, Fig. 11);
+ * - Jain's fairness index over per-thread throughput (Section 6.1);
+ * - geometric mean of relative performance changes, the aggregate
+ *   the paper reports in every figure.
+ */
+
+#ifndef SCHEDTASK_COMMON_MATH_UTILS_HH
+#define SCHEDTASK_COMMON_MATH_UTILS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace schedtask
+{
+
+/**
+ * Cosine similarity of two equal-length vectors.
+ *
+ * @return value in [-1, 1]; 0 if either vector is all-zero.
+ */
+double cosineSimilarity(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+/**
+ * Kendall's tau-b rank correlation coefficient between two
+ * paired score lists. Ties are handled with the tau-b correction.
+ *
+ * @param a scores assigned by ranking A (e.g. Bloom overlap)
+ * @param b scores assigned by ranking B (e.g. exact overlap)
+ * @return value in [-1, 1]; 1 for identical rankings. Returns 0
+ *         when either list is constant (no ranking information).
+ */
+double kendallTauB(const std::vector<double> &a,
+                   const std::vector<double> &b);
+
+/**
+ * Jain's fairness index of a set of non-negative allocations.
+ *
+ * @return value in [1/n, 1]; 1 when all allocations are equal.
+ */
+double jainFairness(const std::vector<double> &xs);
+
+/**
+ * Geometric mean of strictly positive values.
+ *
+ * The paper aggregates "change in X (%)" figures as the geometric
+ * mean of the per-benchmark ratios; use geometricMeanPercent for
+ * that convention.
+ */
+double geometricMean(const std::vector<double> &xs);
+
+/**
+ * Geometric-mean aggregate of percentage changes: converts each
+ * percentage p to the ratio 1 + p/100, takes the geometric mean,
+ * and converts back to a percentage.
+ */
+double geometricMeanPercent(const std::vector<double> &percents);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double arithmeticMean(const std::vector<double> &xs);
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_COMMON_MATH_UTILS_HH

@@ -1,0 +1,120 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+namespace
+{
+
+/** SplitMix64 step, used to expand a 64-bit seed into state words. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    SCHEDTASK_ASSERT(bound != 0, "Rng::below(0)");
+    // Lemire-style rejection-free multiply-shift; the bias for our
+    // bounds (<< 2^32) is far below anything observable.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+}
+
+std::uint64_t
+Rng::inRange(std::uint64_t lo, std::uint64_t hi)
+{
+    SCHEDTASK_ASSERT(lo <= hi, "Rng::inRange with lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Inverse-CDF sampling of a geometric with success probability
+    // 1/mean, shifted so the support starts at 1.
+    const double p = 1.0 / mean;
+    double u = uniform();
+    if (u >= 1.0)
+        u = 0.9999999999;
+    const double v = std::log1p(-u) / std::log1p(-p);
+    const auto draw = static_cast<std::uint64_t>(v) + 1;
+    return draw == 0 ? 1 : draw;
+}
+
+std::uint64_t
+Rng::taskLength(double mean)
+{
+    if (mean <= 2.0)
+        return std::max<std::uint64_t>(static_cast<std::uint64_t>(mean),
+                                       1);
+    const double half = mean / 2.0;
+    return static_cast<std::uint64_t>(half) + geometric(half);
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)() ^ 0xa02'5eed'13ULL);
+}
+
+} // namespace schedtask

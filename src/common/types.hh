@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every subsystem.
+ *
+ * The simulator models a 64-bit physical address space with 4 KB
+ * pages and 64 B cache lines, matching the system simulated in the
+ * SchedTask paper (Table 2 and Section 3.2).
+ */
+
+#ifndef SCHEDTASK_COMMON_TYPES_HH
+#define SCHEDTASK_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace schedtask
+{
+
+/** Physical (or virtual) byte address. */
+using Addr = std::uint64_t;
+
+/** Simulated time, in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Signed cycle delta, for latency arithmetic. */
+using CycleDelta = std::int64_t;
+
+/** Core identifier. Cores are numbered 0..numCores-1. */
+using CoreId = std::uint32_t;
+
+/** Thread identifier, unique within a simulation. */
+using ThreadId = std::uint32_t;
+
+/** Hardware interrupt vector number. */
+using IrqId = std::uint32_t;
+
+/** Sentinel meaning "no core". */
+inline constexpr CoreId invalidCore = static_cast<CoreId>(-1);
+
+/** Sentinel meaning "no thread". */
+inline constexpr ThreadId invalidThread = static_cast<ThreadId>(-1);
+
+/** log2 of the page size: 4 KB pages. */
+inline constexpr unsigned pageShift = 12;
+
+/** Page size in bytes. */
+inline constexpr Addr pageBytes = Addr{1} << pageShift;
+
+/** log2 of the cache line size: 64 B lines. */
+inline constexpr unsigned lineShift = 6;
+
+/** Cache line size in bytes. */
+inline constexpr Addr lineBytes = Addr{1} << lineShift;
+
+/** Instructions represented by one fetched i-cache line (~4 B each). */
+inline constexpr unsigned instsPerFetchBlock = 16;
+
+/** Extract the physical frame number of an address. */
+constexpr Addr
+pageFrameOf(Addr addr)
+{
+    return addr >> pageShift;
+}
+
+/** Extract the cache line address (low bits cleared). */
+constexpr Addr
+lineAddrOf(Addr addr)
+{
+    return addr & ~(lineBytes - 1);
+}
+
+/** Extract the line number (address / 64). */
+constexpr Addr
+lineNumOf(Addr addr)
+{
+    return addr >> lineShift;
+}
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_COMMON_TYPES_HH

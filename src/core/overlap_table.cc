@@ -1,0 +1,119 @@
+#include "core/overlap_table.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "workload/sf_catalog.hh"
+
+namespace schedtask
+{
+
+namespace
+{
+const std::vector<OverlapPeer> emptyList{};
+
+bool
+comparableCategories(SfType a, SfType b)
+{
+    // Section 5.2: no overlap values between OS-specific and
+    // application superFuncTypes.
+    return a.isOs() == b.isOs();
+}
+
+} // namespace
+
+template <typename OverlapFn>
+OverlapTable
+OverlapTable::build(const StatsTable &stats, OverlapFn &&fn)
+{
+    OverlapTable table;
+    const auto &rows = stats.rows();
+    for (const auto &[raw_a, entry_a] : rows) {
+        const SfType type_a = SfType::fromRaw(raw_a);
+        std::vector<OverlapPeer> peers;
+        peers.reserve(rows.size());
+        for (const auto &[raw_b, entry_b] : rows) {
+            if (raw_a == raw_b)
+                continue;
+            const SfType type_b = SfType::fromRaw(raw_b);
+            if (!comparableCategories(type_a, type_b))
+                continue;
+            peers.push_back(OverlapPeer{
+                type_b, fn(entry_a, entry_b)});
+        }
+        std::stable_sort(peers.begin(), peers.end(),
+                         [](const OverlapPeer &x, const OverlapPeer &y) {
+                             return x.overlap > y.overlap;
+                         });
+        table.lists_.emplace(raw_a, std::move(peers));
+    }
+    return table;
+}
+
+OverlapTable
+OverlapTable::fromHeatmaps(const StatsTable &stats)
+{
+    return build(stats, [](const StatsEntry &a, const StatsEntry &b) {
+        return static_cast<std::uint64_t>(a.heatmap.overlap(b.heatmap));
+    });
+}
+
+OverlapTable
+OverlapTable::fromExactFootprints(const StatsTable &stats)
+{
+    return build(stats, [](const StatsEntry &a, const StatsEntry &b) {
+        if (a.info == nullptr || b.info == nullptr)
+            return std::uint64_t{0};
+        return static_cast<std::uint64_t>(
+            a.info->code.exactPageOverlap(b.info->code));
+    });
+}
+
+const std::vector<OverlapPeer> &
+OverlapTable::peersOf(SfType type) const
+{
+    auto it = lists_.find(type.raw());
+    return it == lists_.end() ? emptyList : it->second;
+}
+
+std::uint64_t
+OverlapTable::overlapBetween(SfType a, SfType b) const
+{
+    for (const OverlapPeer &peer : peersOf(a))
+        if (peer.type == b)
+            return peer.overlap;
+    return 0;
+}
+
+std::vector<OverlapPeer>
+OverlapTable::mergedPeers(const std::vector<SfType> &local_types) const
+{
+    std::unordered_set<std::uint64_t> local;
+    for (SfType t : local_types)
+        local.insert(t.raw());
+
+    // Keep the best overlap seen per peer type.
+    std::unordered_map<std::uint64_t, std::uint64_t> best;
+    for (SfType t : local_types) {
+        for (const OverlapPeer &peer : peersOf(t)) {
+            if (local.count(peer.type.raw()) != 0)
+                continue;
+            auto it = best.find(peer.type.raw());
+            if (it == best.end() || it->second < peer.overlap)
+                best[peer.type.raw()] = peer.overlap;
+        }
+    }
+
+    std::vector<OverlapPeer> merged;
+    merged.reserve(best.size());
+    for (const auto &[raw, ov] : best)
+        merged.push_back(OverlapPeer{SfType::fromRaw(raw), ov});
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const OverlapPeer &x, const OverlapPeer &y) {
+                         return x.overlap > y.overlap;
+                     });
+    return merged;
+}
+
+} // namespace schedtask

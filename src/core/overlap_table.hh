@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The overlap table (Section 5.2, Figure 6).
+ *
+ * For each superFuncType, TAlloc stores the list of other types
+ * ordered by decreasing Page overlap — the Hamming weight of the
+ * AND of their Page-heatmaps (Figure 3). Overlaps between
+ * OS-specific and application types are not computed (the paper
+ * never co-locates those on similarity grounds). The table can also
+ * be built from exact footprint page sets, which is the "ideal
+ * ranking" upper bound of Section 6.5.
+ */
+
+#ifndef SCHEDTASK_CORE_OVERLAP_TABLE_HH
+#define SCHEDTASK_CORE_OVERLAP_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sf_type.hh"
+#include "core/stats_table.hh"
+
+namespace schedtask
+{
+
+/** One (type, overlap) pair of an overlap list. */
+struct OverlapPeer
+{
+    SfType type;
+    std::uint64_t overlap = 0;
+};
+
+/**
+ * superFuncType -> peers sorted by decreasing Page overlap.
+ */
+class OverlapTable
+{
+  public:
+    OverlapTable() = default;
+
+    /** Build from Bloom-filter heatmaps (the hardware mechanism). */
+    static OverlapTable fromHeatmaps(const StatsTable &stats);
+
+    /** Build from exact footprint page sets (ideal ranking). */
+    static OverlapTable fromExactFootprints(const StatsTable &stats);
+
+    /** Peers of a type, best first; empty list when unknown. */
+    const std::vector<OverlapPeer> &peersOf(SfType type) const;
+
+    /** Overlap between two specific types; 0 when not tabulated. */
+    std::uint64_t overlapBetween(SfType a, SfType b) const;
+
+    /** Number of types with entries. */
+    std::size_t size() const { return lists_.size(); }
+
+    /**
+     * Merge the overlap lists of several types into one list sorted
+     * by decreasing overlap (used by the Steal-similar-work-also
+     * strategy of Section 5.3). Entries for the local types
+     * themselves are excluded.
+     */
+    std::vector<OverlapPeer>
+    mergedPeers(const std::vector<SfType> &local_types) const;
+
+  private:
+    template <typename OverlapFn>
+    static OverlapTable build(const StatsTable &stats, OverlapFn &&fn);
+
+    std::unordered_map<std::uint64_t, std::vector<OverlapPeer>> lists_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_CORE_OVERLAP_TABLE_HH

@@ -1,0 +1,216 @@
+#include "core/schedtask_sched.hh"
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+
+namespace schedtask
+{
+
+SchedTaskScheduler::SchedTaskScheduler(const SchedTaskParams &params)
+    : params_(params)
+{
+}
+
+void
+SchedTaskScheduler::attach(Machine &machine)
+{
+    QueueScheduler::attach(machine);
+    TAllocParams tp;
+    tp.reallocationGuard = params_.reallocationGuard;
+    tp.useExactOverlap = params_.useExactOverlap;
+    tp.demandSmoothing = params_.demandSmoothing;
+    talloc_ = std::make_unique<TAlloc>(numCores(),
+                                       machine.params().heatmapBits, tp);
+    core_stats_.assign(numCores(),
+                       StatsTable(machine.params().heatmapBits));
+    alloc_ = AllocTable{};
+    overlap_ = OverlapTable{};
+    last_scan_version_.assign(numCores(), ~std::uint64_t{0});
+}
+
+TMigrateView
+SchedTaskScheduler::view()
+{
+    TMigrateView v;
+    v.queues = &allQueues();
+    v.avgExecTime = [this](SfType t) { return avgExecTimeOf(t); };
+    v.queuedCount = [this](SfType t) { return queuedCountOf(t); };
+    v.onStolen = [this](SuperFunction *sf) {
+        noteQueueRemoval(sf->type);
+    };
+    return v;
+}
+
+Cycles
+SchedTaskScheduler::avgExecTimeOf(SfType type) const
+{
+    const StatsEntry *entry = talloc_->systemStats().find(type);
+    return entry == nullptr ? 0 : entry->avgExecTime();
+}
+
+CoreId
+SchedTaskScheduler::choosePlacement(SuperFunction *sf,
+                                    PlacementReason reason)
+{
+    (void)reason;
+    const std::vector<CoreId> *cores = alloc_.coresFor(sf->type);
+    if (cores == nullptr || cores->empty()) {
+        // Algorithm 1: no allocation entry -> execute locally.
+        if (sf->lastCore != invalidCore && sf->lastCore < numCores())
+            return sf->lastCore;
+        return sf->tid == invalidThread
+            ? 0 : static_cast<CoreId>(sf->tid % numCores());
+    }
+    if (cores->size() == 1)
+        return (*cores)[0];
+    return selectLeastWaitingCore(view(), *cores);
+}
+
+SuperFunction *
+SchedTaskScheduler::pickNext(CoreId core)
+{
+    SuperFunction *sf = popHead(core);
+    if (sf != nullptr) {
+        noteDispatchWait(core, sf);
+        return sf;
+    }
+    if (params_.stealPolicy == StealPolicy::None)
+        return nullptr;
+
+    // Nothing was enqueued anywhere since this core's last failed
+    // steal attempt: scanning again cannot succeed.
+    if (last_scan_version_[core] == queueVersion())
+        return nullptr;
+    last_scan_version_[core] = queueVersion();
+
+    TMigrateView v = view();
+    if (params_.stealPolicy == StealPolicy::BusiestFirst) {
+        auto stolen = stealFromBusiest(v, core);
+        if (stolen.empty())
+            return nullptr;
+        SuperFunction *first = stolen.front();
+        for (std::size_t i = 1; i < stolen.size(); ++i)
+            enqueue(core, stolen[i]);
+        noteDispatchWait(core, first);
+        return first;
+    }
+
+    // Level 1: steal same work only.
+    sf = stealSameWork(v, alloc_, core);
+    if (sf != nullptr) {
+        ++same_steals_;
+        noteDispatchWait(core, sf);
+        return sf;
+    }
+    if (params_.stealPolicy == StealPolicy::SameOnly)
+        return nullptr;
+
+    // Level 2: steal similar work also; half of the matching
+    // SuperFunctions migrate to amortize the cold i-cache.
+    auto stolen = stealSimilarWork(v, alloc_, overlap_, core);
+    if (stolen.empty())
+        return nullptr;
+    ++similar_steals_;
+    SuperFunction *first = stolen.front();
+    for (std::size_t i = 1; i < stolen.size(); ++i)
+        enqueue(core, stolen[i]);
+    noteDispatchWait(core, first);
+    return first;
+}
+
+void
+SchedTaskScheduler::noteDispatchWait(CoreId core, SuperFunction *sf)
+{
+    const Cycles now = machine_->now();
+    const Cycles wait =
+        now > sf->enqueueCycle ? now - sf->enqueueCycle : 0;
+    core_stats_[core].recordWait(sf->type, sf->info, wait);
+}
+
+CoreId
+SchedTaskScheduler::routeIrq(IrqId irq)
+{
+    // Until the first allocation exists, interrupts keep the
+    // distribution the booting system had (round-robin, as under
+    // irqbalance); concentrating them on core 0 before any stats
+    // exist would make the first epoch's measurements throttle
+    // interrupt/bottom-half work to one core's throughput.
+    if (alloc_.empty())
+        return QueueScheduler::routeIrq(irq);
+    // Section 5.2: interrupts whose IDs are not present in the
+    // stats table are mapped to core 0 by default. Known vectors
+    // are routed by the interrupt controller (programmed in
+    // onEpoch) before this fallback is consulted.
+    return 0;
+}
+
+void
+SchedTaskScheduler::onSliceEnd(CoreId core, const SuperFunction *sf,
+                               Cycles elapsed, std::uint64_t insts,
+                               const PageHeatmap &heatmap)
+{
+    core_stats_[core].record(sf->type, sf->info, elapsed, insts,
+                             heatmap);
+}
+
+void
+SchedTaskScheduler::onEpoch()
+{
+    // Detect starvation: idle core-cycles accumulated during the
+    // last epoch. Queue waits only become a demand signal when
+    // cores idled (otherwise waiting in a saturated queue is
+    // normal and the signal would oscillate the allocation).
+    const std::uint64_t idle_now =
+        machine_->metricsSnapshot().idleCycles;
+    const std::uint64_t idle_delta =
+        idle_now >= last_idle_cycles_ ? idle_now - last_idle_cycles_
+                                      : idle_now;
+    last_idle_cycles_ = idle_now;
+    const double idle_frac = static_cast<double>(idle_delta)
+        / (static_cast<double>(machine_->params().epochCycles)
+           * numCores());
+    const bool starved = params_.useWaitSignal && idle_frac > 0.05;
+
+    TAllocResult result = talloc_->run(
+        core_stats_, alloc_,
+        [this](SfType t) { return queuedCountOf(t); }, starved);
+    overlap_ = std::move(result.overlap);
+    if (!result.reallocated)
+        return;
+    alloc_ = std::move(result.alloc);
+
+    if (params_.routeInterrupts) {
+        machine_->irqController().clearRoutes();
+        for (const IrqRoute &route : result.irqRoutes)
+            machine_->irqController().programRoute(route.irq,
+                                                   route.core);
+    }
+
+    // Transfer queued threads to the cores their types now map to
+    // (Section 5.2 does this transfer once per re-allocation to
+    // bound migration cost).
+    replaceQueuedWork();
+}
+
+void
+SchedTaskScheduler::replaceQueuedWork()
+{
+    for (SuperFunction *sf : drainAllQueues())
+        enqueue(choosePlacement(sf, PlacementReason::NewSf), sf);
+}
+
+SchedOverhead
+SchedTaskScheduler::overheadFor(SchedEvent event,
+                                const SuperFunction *sf) const
+{
+    if (event == SchedEvent::Epoch) {
+        SchedOverhead oh;
+        oh.insts = params_.tallocInsts;
+        oh.code = machine_ != nullptr ? &machine_->schedulerCode()
+                                      : nullptr;
+        return oh;
+    }
+    return Scheduler::overheadFor(event, sf);
+}
+
+} // namespace schedtask

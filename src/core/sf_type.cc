@@ -1,0 +1,78 @@
+#include "core/sf_type.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+namespace
+{
+
+constexpr unsigned categoryShift = 62;
+constexpr std::uint64_t subcategoryMask =
+    (std::uint64_t{1} << categoryShift) - 1;
+
+std::uint64_t
+encode(SfCategory cat, std::uint64_t subcategory)
+{
+    SCHEDTASK_ASSERT((subcategory & ~subcategoryMask) == 0,
+                     "subcategory exceeds 62 bits");
+    return (static_cast<std::uint64_t>(cat) << categoryShift) | subcategory;
+}
+
+} // namespace
+
+const char *
+sfCategoryName(SfCategory cat)
+{
+    switch (cat) {
+      case SfCategory::SystemCall:
+        return "syscall";
+      case SfCategory::Interrupt:
+        return "interrupt";
+      case SfCategory::BottomHalf:
+        return "bottomhalf";
+      case SfCategory::Application:
+        return "application";
+    }
+    return "unknown";
+}
+
+SfType
+SfType::systemCall(std::uint64_t syscall_id)
+{
+    return fromRaw(encode(SfCategory::SystemCall, syscall_id));
+}
+
+SfType
+SfType::interrupt(std::uint64_t irq_id)
+{
+    return fromRaw(encode(SfCategory::Interrupt, irq_id));
+}
+
+SfType
+SfType::bottomHalf(std::uint64_t handler_pc)
+{
+    return fromRaw(encode(SfCategory::BottomHalf, handler_pc));
+}
+
+SfType
+SfType::application(std::uint64_t code_checksum)
+{
+    return fromRaw(encode(SfCategory::Application,
+                          code_checksum & subcategoryMask));
+}
+
+SfCategory
+SfType::category() const
+{
+    return static_cast<SfCategory>(raw_ >> categoryShift);
+}
+
+std::uint64_t
+SfType::subcategory() const
+{
+    return raw_ & subcategoryMask;
+}
+
+} // namespace schedtask

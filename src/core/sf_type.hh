@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The superFuncType encoding of Section 3.1 (Table 1).
+ *
+ * A SuperFunction's type is a 64-bit number: the top 2 bits encode
+ * the task category and the remaining 62 bits encode the
+ * subcategory:
+ *
+ *   category 0 — system call handler; subcategory = system call ID
+ *   category 1 — interrupt handler;   subcategory = interrupt ID
+ *   category 2 — bottom half handler; subcategory = handler PC
+ *   category 3 — user application;    subcategory = checksum of the
+ *                application's code pages
+ *
+ * SuperFunctions with the same superFuncType are expected to have
+ * similar instruction footprints and are scheduled onto the same
+ * core by SchedTask.
+ */
+
+#ifndef SCHEDTASK_CORE_SF_TYPE_HH
+#define SCHEDTASK_CORE_SF_TYPE_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace schedtask
+{
+
+/** The four task categories of Figure 2. */
+enum class SfCategory : std::uint8_t
+{
+    SystemCall = 0,
+    Interrupt = 1,
+    BottomHalf = 2,
+    Application = 3,
+};
+
+/** Number of SfCategory values. */
+inline constexpr unsigned numSfCategories = 4;
+
+/** Human-readable category name ("syscall", "interrupt", ...). */
+const char *sfCategoryName(SfCategory cat);
+
+/**
+ * A 64-bit superFuncType value.
+ *
+ * Value type: cheap to copy, totally ordered, hashable.
+ */
+class SfType
+{
+  public:
+    /** The all-zero type (what an application starts with). */
+    constexpr SfType() = default;
+
+    /** Build a system-call handler type from the syscall ID. */
+    static SfType systemCall(std::uint64_t syscall_id);
+
+    /** Build an interrupt handler type from the interrupt ID. */
+    static SfType interrupt(std::uint64_t irq_id);
+
+    /** Build a bottom-half handler type from the handler's PC. */
+    static SfType bottomHalf(std::uint64_t handler_pc);
+
+    /** Build an application type from the code-page checksum. */
+    static SfType application(std::uint64_t code_checksum);
+
+    /** Reconstruct from a raw 64-bit encoding. */
+    static constexpr SfType
+    fromRaw(std::uint64_t raw)
+    {
+        SfType t;
+        t.raw_ = raw;
+        return t;
+    }
+
+    /** Task category (top 2 bits). */
+    SfCategory category() const;
+
+    /** Subcategory (low 62 bits). */
+    std::uint64_t subcategory() const;
+
+    /** Raw 64-bit encoding. */
+    constexpr std::uint64_t raw() const { return raw_; }
+
+    /** True for the three OS categories (not Application). */
+    bool isOs() const { return category() != SfCategory::Application; }
+
+    friend constexpr bool
+    operator==(SfType a, SfType b)
+    {
+        return a.raw_ == b.raw_;
+    }
+
+    friend constexpr auto operator<=>(SfType a, SfType b) = default;
+
+  private:
+    std::uint64_t raw_ = 0;
+};
+
+} // namespace schedtask
+
+template <>
+struct std::hash<schedtask::SfType>
+{
+    std::size_t
+    operator()(schedtask::SfType t) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(t.raw());
+    }
+};
+
+#endif // SCHEDTASK_CORE_SF_TYPE_HH

@@ -1,0 +1,115 @@
+#include "core/stats_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+StatsTable::StatsTable(unsigned heatmap_bits)
+    : heatmap_bits_(heatmap_bits)
+{
+}
+
+void
+StatsTable::record(SfType type, const SfTypeInfo *info, Cycles exec_time,
+                   std::uint64_t insts, const PageHeatmap &heatmap)
+{
+    auto it = rows_.find(type.raw());
+    if (it == rows_.end()) {
+        it = rows_.emplace(type.raw(), StatsEntry(heatmap_bits_)).first;
+        it->second.info = info;
+    }
+    StatsEntry &e = it->second;
+    ++e.freq;
+    e.execTime += exec_time;
+    e.insts += insts;
+    if (heatmap.bits() == heatmap_bits_)
+        e.heatmap.orWith(heatmap);
+}
+
+void
+StatsTable::recordWait(SfType type, const SfTypeInfo *info, Cycles wait)
+{
+    auto it = rows_.find(type.raw());
+    if (it == rows_.end()) {
+        it = rows_.emplace(type.raw(), StatsEntry(heatmap_bits_)).first;
+        it->second.info = info;
+    }
+    it->second.queueWait += wait;
+}
+
+void
+StatsTable::aggregateFrom(const StatsTable &other)
+{
+    SCHEDTASK_ASSERT(other.heatmap_bits_ == heatmap_bits_,
+                     "aggregating tables of different heatmap widths");
+    for (const auto &[raw, entry] : other.rows_) {
+        auto it = rows_.find(raw);
+        if (it == rows_.end()) {
+            it = rows_.emplace(raw, StatsEntry(heatmap_bits_)).first;
+            it->second.info = entry.info;
+        }
+        StatsEntry &e = it->second;
+        e.freq += entry.freq;
+        e.execTime += entry.execTime;
+        e.insts += entry.insts;
+        e.queueWait += entry.queueWait;
+        e.heatmap.orWith(entry.heatmap);
+    }
+}
+
+void
+StatsTable::clear()
+{
+    rows_.clear();
+}
+
+const StatsEntry *
+StatsTable::find(SfType type) const
+{
+    auto it = rows_.find(type.raw());
+    return it == rows_.end() ? nullptr : &it->second;
+}
+
+Cycles
+StatsTable::totalExecTime() const
+{
+    Cycles total = 0;
+    for (const auto &[raw, entry] : rows_)
+        total += entry.execTime;
+    return total;
+}
+
+std::vector<double>
+StatsTable::breakupVector(
+    const std::vector<std::uint64_t> &type_order) const
+{
+    const double total = static_cast<double>(totalExecTime());
+    std::vector<double> v;
+    v.reserve(type_order.size());
+    for (std::uint64_t raw : type_order) {
+        auto it = rows_.find(raw);
+        if (it == rows_.end() || total == 0.0) {
+            v.push_back(0.0);
+        } else {
+            v.push_back(
+                static_cast<double>(it->second.execTime) / total);
+        }
+    }
+    return v;
+}
+
+std::vector<std::uint64_t>
+StatsTable::typeOrder() const
+{
+    std::vector<std::uint64_t> order;
+    order.reserve(rows_.size());
+    for (const auto &[raw, entry] : rows_)
+        order.push_back(raw);
+    std::sort(order.begin(), order.end());
+    return order;
+}
+
+} // namespace schedtask

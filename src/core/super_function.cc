@@ -1,0 +1,76 @@
+#include "core/super_function.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+void
+SuperFunction::reset()
+{
+    type = SfType{};
+    id = 0;
+    parent = nullptr;
+    tid = invalidThread;
+    coreId = invalidCore;
+    info = nullptr;
+    state = SfState::Runnable;
+    instsTarget = 0;
+    instsDone = 0;
+    blockAtInsts = 0;
+    walker = FootprintWalker{};
+    thread = nullptr;
+    phase = nullptr;
+    wakeTarget = nullptr;
+    pendingBh = nullptr;
+    pendingBhInsts = 0;
+    partIndex = 0;
+    lastCore = invalidCore;
+    enqueueCycle = 0;
+    instsThisDispatch = 0;
+}
+
+SfIdAllocator::SfIdAllocator(unsigned num_cores)
+    : num_cores_(num_cores)
+{
+    SCHEDTASK_ASSERT(num_cores >= 1, "need at least one core");
+    // 2^64 / n, computed without overflowing: for n that does not
+    // divide 2^64 the last core's range is slightly larger, which
+    // preserves the paper's disjointness property.
+    stride_ = num_cores == 1
+        ? 0 // full 64-bit space
+        : (~std::uint64_t{0} / num_cores) + 1;
+    next_.resize(num_cores);
+    for (unsigned c = 0; c < num_cores; ++c)
+        next_[c] = rangeStart(c);
+}
+
+std::uint64_t
+SfIdAllocator::next(CoreId core)
+{
+    SCHEDTASK_ASSERT(core < num_cores_, "core out of range");
+    const std::uint64_t id = next_[core];
+    std::uint64_t following = id + 1;
+    const std::uint64_t end = rangeEnd(core);
+    // Wrap within the core's range when exhausted (Section 3.3).
+    if (following == end || (end == 0 && following == 0))
+        following = rangeStart(core);
+    next_[core] = following;
+    return id;
+}
+
+std::uint64_t
+SfIdAllocator::rangeStart(CoreId core) const
+{
+    return stride_ * core;
+}
+
+std::uint64_t
+SfIdAllocator::rangeEnd(CoreId core) const
+{
+    if (core + 1 == num_cores_)
+        return 0; // 2^64 mod 2^64
+    return stride_ * (core + 1);
+}
+
+} // namespace schedtask

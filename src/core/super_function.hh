@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The SuperFunction structure of Section 3.3.
+ *
+ * A SuperFunction is the scheduler's unit of work: a maximal
+ * sequence of retired instructions of one task category. The paper
+ * maintains, per SuperFunction: the superFuncType, a unique
+ * superFuncID (allocated from per-core ranges to avoid a shared
+ * counter), a pointer to the parent SuperFunction (so TMigrate can
+ * return control when a handler finishes), the creating thread's
+ * ID, and the core currently handling it. The runtime fields below
+ * additionally carry the execution state the trace-driven simulator
+ * needs (instruction budget, footprint cursor, blocking bookkeeping).
+ */
+
+#ifndef SCHEDTASK_CORE_SUPER_FUNCTION_HH
+#define SCHEDTASK_CORE_SUPER_FUNCTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/sf_type.hh"
+#include "workload/footprint.hh"
+#include "workload/script.hh"
+
+namespace schedtask
+{
+
+class Thread;
+
+/** Lifecycle state of a SuperFunction. */
+enum class SfState : std::uint8_t
+{
+    Runnable, ///< queued, ready to execute
+    Running,  ///< executing on a core
+    Waiting,  ///< blocked (device, or parent waiting for a child)
+    Paused,   ///< preempted in place by an interrupt
+    Done,     ///< completed (about to be recycled)
+};
+
+/**
+ * A SuperFunction instance.
+ *
+ * Application SuperFunctions live for the whole thread; handler
+ * SuperFunctions are created per invocation and recycled through
+ * the Machine's pool.
+ */
+struct SuperFunction
+{
+    // ---- The paper's Section 3.3 fields --------------------------
+    SfType type;
+    std::uint64_t id = 0;
+    SuperFunction *parent = nullptr;
+    ThreadId tid = invalidThread;
+    CoreId coreId = invalidCore;
+
+    // ---- Static description --------------------------------------
+    const SfTypeInfo *info = nullptr;
+
+    // ---- Execution state ------------------------------------------
+    SfState state = SfState::Runnable;
+    std::uint64_t instsTarget = 0;
+    std::uint64_t instsDone = 0;
+    /** Instruction count at which this instance blocks (0 = never). */
+    std::uint64_t blockAtInsts = 0;
+    FootprintWalker walker;
+
+    /** Owning thread; nullptr for detached handlers (irq/bh). */
+    Thread *thread = nullptr;
+    /** The phase spec a syscall instance implements (may be null). */
+    const SyscallPhase *phase = nullptr;
+    /** SuperFunction a bottom half wakes on completion. */
+    SuperFunction *wakeTarget = nullptr;
+    /** Bottom half an interrupt handler schedules on completion. */
+    const SfTypeInfo *pendingBh = nullptr;
+    std::uint64_t pendingBhInsts = 0;
+    /** Ambient-stream part index for detached handlers. */
+    unsigned partIndex = 0;
+
+    /** Core the SF executed on most recently (migration counting). */
+    CoreId lastCore = invalidCore;
+    /** Cycle at which the SF was enqueued (queueing delay stats). */
+    Cycles enqueueCycle = 0;
+    /** Insts executed since last dispatch (timeslice accounting). */
+    std::uint64_t instsThisDispatch = 0;
+
+    /** Remaining instructions before completion or block. */
+    std::uint64_t
+    instsRemaining() const
+    {
+        return instsTarget > instsDone ? instsTarget - instsDone : 0;
+    }
+
+    /** Reset to a pristine state for pool reuse. */
+    void reset();
+};
+
+/**
+ * The distributed superFuncID allocator of Section 3.3.
+ *
+ * Core i hands out IDs from [2^64 * i / n, 2^64 * (i+1) / n), wrapping
+ * within its range when exhausted, so that no global counter is
+ * shared between cores.
+ */
+class SfIdAllocator
+{
+  public:
+    explicit SfIdAllocator(unsigned num_cores);
+
+    /** Next ID from the given core's range. */
+    std::uint64_t next(CoreId core);
+
+    /** Start of a core's range (for tests). */
+    std::uint64_t rangeStart(CoreId core) const;
+
+    /** Exclusive end of a core's range; 0 means 2^64 (core n-1). */
+    std::uint64_t rangeEnd(CoreId core) const;
+
+  private:
+    unsigned num_cores_;
+    std::uint64_t stride_;
+    std::vector<std::uint64_t> next_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_CORE_SUPER_FUNCTION_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * TMigrate placement and work-stealing algorithms (Section 5.3,
+ * Algorithm 1).
+ *
+ * Placement: a new SuperFunction goes to the allocated core with
+ * the least waiting time (the sum of the average execution times of
+ * the SuperFunctions in its runnable queue). Absent an allocation,
+ * it runs on the local core.
+ *
+ * Stealing, tried in order by an idle core:
+ *  1. Steal same work only — take a SuperFunction whose type is
+ *     allocated to the local core from the core with the maximum
+ *     waiting time (no extra i-cache pollution).
+ *  2. Steal similar work also — walk the merged overlap lists of
+ *     the local types in decreasing Page-overlap order; on finding
+ *     a remote queue holding SuperFunctions of that type, steal
+ *     half of them (amortizing the cold i-cache over several
+ *     executions).
+ * An alternate strategy, steal-from-busiest, ignores types entirely
+ * (evaluated as the "modest benefits" variant in Section 6.4).
+ */
+
+#ifndef SCHEDTASK_CORE_TMIGRATE_HH
+#define SCHEDTASK_CORE_TMIGRATE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/alloc_table.hh"
+#include "core/overlap_table.hh"
+#include "core/super_function.hh"
+
+namespace schedtask
+{
+
+/** Work-stealing strategy (Figure 9 ablation). */
+enum class StealPolicy : std::uint8_t
+{
+    None,            ///< idle cores stay idle
+    SameOnly,        ///< level 1 only
+    SameAndSimilar,  ///< level 1 then level 2 (the default)
+    BusiestFirst,    ///< type-agnostic: raid the longest queue
+};
+
+/** Human-readable strategy name. */
+const char *stealPolicyName(StealPolicy policy);
+
+/** View of all run queues plus a waiting-time estimator. */
+struct TMigrateView
+{
+    /** Per-core runnable queues (owned by the scheduler). */
+    std::vector<std::deque<SuperFunction *>> *queues = nullptr;
+
+    /** Average execution time of one SuperFunction of a type. */
+    std::function<Cycles(SfType)> avgExecTime;
+
+    /** Queued instances of a type, across all cores (fast probe). */
+    std::function<std::size_t(SfType)> queuedCount;
+
+    /** Bookkeeping callback invoked for each stolen SuperFunction. */
+    std::function<void(SuperFunction *)> onStolen;
+
+    /** Estimated waiting time of a core's queue. */
+    Cycles waitingTime(CoreId core) const;
+};
+
+/**
+ * Pick the least-waiting-time core among an allocation's candidates
+ * (Algorithm 1, startSuperFunction).
+ */
+CoreId selectLeastWaitingCore(const TMigrateView &view,
+                              const std::vector<CoreId> &candidates);
+
+/**
+ * Level-1 stealing: remove and return one SuperFunction whose type
+ * is allocated to `thief`, taken from the queue with the maximum
+ * waiting time. Returns nullptr when nothing qualifies.
+ */
+SuperFunction *stealSameWork(const TMigrateView &view,
+                             const AllocTable &alloc, CoreId thief);
+
+/**
+ * Level-2 stealing: walk the merged overlap list of the thief's
+ * types; steal half of the matching SuperFunctions (at least one)
+ * from the first remote queue that holds any. Empty when nothing
+ * qualifies.
+ */
+std::vector<SuperFunction *> stealSimilarWork(const TMigrateView &view,
+                                              const AllocTable &alloc,
+                                              const OverlapTable &overlap,
+                                              CoreId thief);
+
+/**
+ * Type-agnostic alternative: steal the tail half of the queue with
+ * the maximum waiting time.
+ */
+std::vector<SuperFunction *> stealFromBusiest(const TMigrateView &view,
+                                              CoreId thief);
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_CORE_TMIGRATE_HH

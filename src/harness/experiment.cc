@@ -1,0 +1,185 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "sched/disagg_os.hh"
+#include "sched/flexsc.hh"
+#include "sched/linux_sched.hh"
+#include "sched/selective_offload.hh"
+#include "sched/slicc.hh"
+
+namespace schedtask
+{
+
+const char *
+techniqueName(Technique technique)
+{
+    switch (technique) {
+      case Technique::Linux:
+        return "Linux";
+      case Technique::SelectiveOffload:
+        return "SelectiveOffload";
+      case Technique::FlexSC:
+        return "FlexSC";
+      case Technique::DisAggregateOS:
+        return "DisAggregateOS";
+      case Technique::SLICC:
+        return "SLICC";
+      case Technique::SchedTask:
+        return "SchedTask";
+    }
+    return "unknown";
+}
+
+const std::vector<Technique> &
+comparedTechniques()
+{
+    static const std::vector<Technique> techniques = {
+        Technique::SelectiveOffload, Technique::FlexSC,
+        Technique::DisAggregateOS,   Technique::SLICC,
+        Technique::SchedTask,
+    };
+    return techniques;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(Technique technique, const SchedTaskParams &st_params)
+{
+    switch (technique) {
+      case Technique::Linux:
+        return std::make_unique<LinuxScheduler>();
+      case Technique::SelectiveOffload:
+        return std::make_unique<SelectiveOffloadScheduler>();
+      case Technique::FlexSC:
+        return std::make_unique<FlexSCScheduler>();
+      case Technique::DisAggregateOS:
+        return std::make_unique<DisAggregateOSScheduler>();
+      case Technique::SLICC:
+        return std::make_unique<SliccScheduler>();
+      case Technique::SchedTask:
+        return std::make_unique<SchedTaskScheduler>(st_params);
+    }
+    SCHEDTASK_PANIC("unknown technique");
+}
+
+namespace
+{
+
+/** SCHEDTASK_FAST=1 shrinks runs for smoke testing. */
+bool
+fastMode()
+{
+    const char *env = std::getenv("SCHEDTASK_FAST");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+} // namespace
+
+ExperimentConfig
+ExperimentConfig::standard(const std::string &benchmark, double scale)
+{
+    ExperimentConfig cfg;
+    cfg.parts = {{benchmark, scale}};
+    if (fastMode()) {
+        cfg.warmupEpochs = 1;
+        cfg.measureEpochs = 2;
+    }
+    return cfg;
+}
+
+ExperimentConfig
+ExperimentConfig::standardBag(const std::string &bag)
+{
+    ExperimentConfig cfg;
+    cfg.parts = Workload::bagParts(bag);
+    if (fastMode()) {
+        cfg.warmupEpochs = 1;
+        cfg.measureEpochs = 2;
+    }
+    return cfg;
+}
+
+double
+RunResult::migrationsPerBillionInsts() const
+{
+    if (metrics.instsRetired == 0)
+        return 0.0;
+    return static_cast<double>(metrics.migrations) * 1e9
+        / static_cast<double>(metrics.instsRetired);
+}
+
+RunResult
+runWithScheduler(const ExperimentConfig &config, Scheduler &scheduler)
+{
+    // A fresh suite per run keeps the region layout and all RNG
+    // streams identical across techniques.
+    BenchmarkSuite suite;
+    Workload workload =
+        Workload::build(suite, config.parts, config.baselineCores);
+
+    MachineParams mp = config.machine;
+    mp.numCores = scheduler.coresRequired(config.baselineCores);
+
+    Machine machine(mp, config.hierarchy, suite, workload, scheduler);
+
+    if (config.useCgpPrefetcher) {
+        machine.hierarchy().setPrefetcher(
+            std::make_unique<CallGraphPrefetcher>(mp.numCores));
+    }
+    if (config.useTraceCache)
+        machine.hierarchy().enableTraceCaches(TraceCacheParams{});
+
+    machine.run(static_cast<Cycles>(config.warmupEpochs)
+                * mp.epochCycles);
+    machine.resetStats();
+    machine.run(static_cast<Cycles>(config.measureEpochs)
+                * mp.epochCycles);
+
+    RunResult result;
+    result.metrics = machine.metricsSnapshot();
+    result.numCores = mp.numCores;
+    result.freqGhz = mp.coreFrequencyGHz;
+    const MemHierarchy &hier = machine.hierarchy();
+    result.iHitApp = hier.iCounts(ExecClass::App).hitRate();
+    result.iHitOs = hier.iCounts(ExecClass::Os).hitRate();
+    result.iHitAll = hier.iCountsTotal().hitRate();
+    result.dHitApp = hier.dCounts(ExecClass::App).hitRate();
+    result.dHitOs = hier.dCounts(ExecClass::Os).hitRate();
+    result.itlbHit = hier.itlbHitRate();
+    result.dtlbHit = hier.dtlbHitRate();
+    return result;
+}
+
+RunResult
+runOnce(const ExperimentConfig &config, Technique technique)
+{
+    std::unique_ptr<Scheduler> scheduler =
+        makeScheduler(technique, config.schedTask);
+    return runWithScheduler(config, *scheduler);
+}
+
+double
+percentChange(double base, double value)
+{
+    if (base == 0.0)
+        return 0.0;
+    return 100.0 * (value - base) / base;
+}
+
+double
+pointChange(double base_rate, double rate)
+{
+    return (rate - base_rate) * 100.0;
+}
+
+Comparison
+compare(const ExperimentConfig &config, Technique technique)
+{
+    Comparison cmp;
+    cmp.baseline = runOnce(config, Technique::Linux);
+    cmp.technique = runOnce(config, technique);
+    return cmp;
+}
+
+} // namespace schedtask

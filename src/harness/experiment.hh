@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Experiment harness: builds machines, runs warmup + measurement,
+ * and computes baseline-relative deltas the way the paper reports
+ * them (change in instruction throughput / application performance
+ * relative to the Linux baseline with the same workload and cache
+ * configuration).
+ */
+
+#ifndef SCHEDTASK_HARNESS_EXPERIMENT_HH
+#define SCHEDTASK_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/schedtask_sched.hh"
+#include "mem/hierarchy.hh"
+#include "sched/scheduler.hh"
+#include "sim/machine.hh"
+#include "sim/metrics.hh"
+#include "workload/workload.hh"
+
+namespace schedtask
+{
+
+/** The compared techniques (Section 6.1, Table 3). */
+enum class Technique : std::uint8_t
+{
+    Linux,
+    SelectiveOffload,
+    FlexSC,
+    DisAggregateOS,
+    SLICC,
+    SchedTask,
+};
+
+/** Name as used in the paper's figures. */
+const char *techniqueName(Technique technique);
+
+/** The five techniques compared against the Linux baseline. */
+const std::vector<Technique> &comparedTechniques();
+
+/** Instantiate a scheduler for a technique. */
+std::unique_ptr<Scheduler> makeScheduler(
+    Technique technique, const SchedTaskParams &st_params = {});
+
+/** Everything one simulation run needs. */
+struct ExperimentConfig
+{
+    /** Baseline core count (techniques may use more). */
+    unsigned baselineCores = 32;
+
+    /** Cache hierarchy (core count is filled in per technique). */
+    HierarchyParams hierarchy = HierarchyParams::paperDefault();
+
+    /** Machine parameters (numCores filled in per technique). */
+    MachineParams machine;
+
+    /** Workload composition. */
+    std::vector<WorkloadPart> parts;
+
+    /** Warmup/measurement lengths, in epochs. TAlloc needs a few
+     *  epochs to converge from the Linux-like bring-up state. */
+    unsigned warmupEpochs = 4;
+    unsigned measureEpochs = 6;
+
+    /** SchedTask variant parameters (ablations). */
+    SchedTaskParams schedTask;
+
+    /** Appendix add-ons. */
+    bool useCgpPrefetcher = false;
+    bool useTraceCache = false;
+
+    /**
+     * Standard configuration: one benchmark at the given scale
+     * (the paper's main results use 2X), paper Table 2 hierarchy.
+     * Honours the SCHEDTASK_FAST environment variable by shrinking
+     * the measurement window.
+     */
+    static ExperimentConfig standard(const std::string &benchmark,
+                                     double scale = 2.0);
+
+    /** Standard configuration for a multi-programmed bag. */
+    static ExperimentConfig standardBag(const std::string &bag);
+};
+
+/** Result of one run, with hierarchy-derived rates attached. */
+struct RunResult
+{
+    SimMetrics metrics;
+    unsigned numCores = 0;
+    double freqGhz = 2.0;
+
+    double iHitApp = 1.0;
+    double iHitOs = 1.0;
+    double iHitAll = 1.0;
+    double dHitApp = 1.0;
+    double dHitOs = 1.0;
+    double itlbHit = 1.0;
+    double dtlbHit = 1.0;
+
+    double instThroughput() const
+    {
+        return metrics.instThroughput(freqGhz);
+    }
+
+    double appPerformance() const
+    {
+        return metrics.appEventsPerSecond(freqGhz);
+    }
+
+    double idlePercent() const
+    {
+        return metrics.idleFraction(numCores) * 100.0;
+    }
+
+    /** Migrations normalized per billion retired instructions. */
+    double migrationsPerBillionInsts() const;
+};
+
+/** Run one technique on one configuration. */
+RunResult runOnce(const ExperimentConfig &config, Technique technique);
+
+/** Run with a caller-provided scheduler (custom schedulers). */
+RunResult runWithScheduler(const ExperimentConfig &config,
+                           Scheduler &scheduler);
+
+/** Percent change helper: 100 * (v - base) / base. */
+double percentChange(double base, double value);
+
+/** Percentage-point change between two rates in [0,1]. */
+double pointChange(double base_rate, double rate);
+
+/** A baseline + technique pair on identical configuration. */
+struct Comparison
+{
+    RunResult baseline;
+    RunResult technique;
+
+    double throughputChange() const
+    {
+        return percentChange(baseline.instThroughput(),
+                             technique.instThroughput());
+    }
+
+    double appPerfChange() const
+    {
+        return percentChange(baseline.appPerformance(),
+                             technique.appPerformance());
+    }
+
+    double iHitAppChange() const
+    {
+        return pointChange(baseline.iHitApp, technique.iHitApp);
+    }
+
+    double iHitOsChange() const
+    {
+        return pointChange(baseline.iHitOs, technique.iHitOs);
+    }
+
+    double iHitAllChange() const
+    {
+        return pointChange(baseline.iHitAll, technique.iHitAll);
+    }
+
+    double dHitAppChange() const
+    {
+        return pointChange(baseline.dHitApp, technique.dHitApp);
+    }
+
+    double dHitOsChange() const
+    {
+        return pointChange(baseline.dHitOs, technique.dHitOs);
+    }
+};
+
+/** Run baseline and technique on the same configuration. */
+Comparison compare(const ExperimentConfig &config, Technique technique);
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_HARNESS_EXPERIMENT_HH

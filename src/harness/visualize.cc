@@ -1,0 +1,82 @@
+#include "harness/visualize.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/schedtask_sched.hh"
+#include "workload/sf_catalog.hh"
+
+namespace schedtask
+{
+
+std::string
+utilizationBars(const SimMetrics &metrics, unsigned num_cores,
+                unsigned width)
+{
+    std::ostringstream os;
+    const double window = static_cast<double>(metrics.cycles);
+    for (unsigned c = 0; c < num_cores; ++c) {
+        const double idle =
+            c < metrics.perCoreIdleCycles.size() && window > 0.0
+                ? static_cast<double>(metrics.perCoreIdleCycles[c])
+                    / window
+                : 0.0;
+        const double busy = std::clamp(1.0 - idle, 0.0, 1.0);
+        const auto filled =
+            static_cast<unsigned>(busy * width + 0.5);
+        os << "core " << std::setw(2) << std::setfill('0') << c
+           << std::setfill(' ') << " [";
+        for (unsigned i = 0; i < width; ++i)
+            os << (i < filled ? '#' : '.');
+        os << "] " << std::setw(3)
+           << static_cast<int>(busy * 100.0 + 0.5) << "%\n";
+    }
+    return os.str();
+}
+
+std::string
+allocationView(const SchedTaskScheduler &sched)
+{
+    const AllocTable &alloc = sched.allocTable();
+    const StatsTable &stats = sched.talloc().systemStats();
+    const double total =
+        std::max<double>(static_cast<double>(stats.totalExecTime()),
+                         1.0);
+
+    // Find the highest core index mentioned by the table.
+    CoreId max_core = 0;
+    for (SfType t : alloc.types())
+        for (CoreId c : *alloc.coresFor(t))
+            max_core = std::max(max_core, c);
+
+    std::ostringstream os;
+    for (CoreId c = 0; c <= max_core; ++c) {
+        os << "core " << std::setw(2) << std::setfill('0') << c
+           << std::setfill(' ') << ": ";
+        bool first = true;
+        for (SfType t : alloc.typesOnCore(c)) {
+            if (!first)
+                os << ", ";
+            first = false;
+            const StatsEntry *entry = stats.find(t);
+            if (entry != nullptr && entry->info != nullptr)
+                os << entry->info->name;
+            else
+                os << "type:" << std::hex << t.raw() << std::dec;
+            if (entry != nullptr) {
+                os << " ("
+                   << std::fixed << std::setprecision(1)
+                   << 100.0 * static_cast<double>(entry->execTime)
+                        / total
+                   << "%)";
+            }
+        }
+        if (first)
+            os << "-";
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace schedtask

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text visualizations of a run: per-core utilization bars and the
+ * SchedTask allocation table (which superFuncTypes own which cores)
+ * — the at-a-glance views a scheduler developer reaches for first.
+ */
+
+#ifndef SCHEDTASK_HARNESS_VISUALIZE_HH
+#define SCHEDTASK_HARNESS_VISUALIZE_HH
+
+#include <string>
+
+#include "sim/metrics.hh"
+
+namespace schedtask
+{
+
+class SchedTaskScheduler;
+
+/**
+ * Render one utilization bar per core, e.g.
+ *
+ *   core 00 [#########.] 91%
+ *
+ * @param metrics  metrics snapshot of the measured window
+ * @param num_cores number of cores the window covered
+ * @param width    characters per bar
+ */
+std::string utilizationBars(const SimMetrics &metrics,
+                            unsigned num_cores, unsigned width = 20);
+
+/**
+ * Render the current allocation table of a SchedTask scheduler:
+ * one line per core listing the superFuncTypes allocated to it with
+ * their previous-epoch execution shares.
+ */
+std::string allocationView(const SchedTaskScheduler &sched);
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_HARNESS_VISUALIZE_HH

@@ -1,0 +1,151 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::uint64_t v)
+{
+    SCHEDTASK_ASSERT(v != 0 && (v & (v - 1)) == 0,
+                     "value must be a power of two, got ", v);
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    SCHEDTASK_ASSERT(params_.assoc > 0, "associativity must be positive");
+    SCHEDTASK_ASSERT(params_.sizeBytes % (params_.blockBytes * params_.assoc)
+                         == 0,
+                     "cache size must be a multiple of assoc * block size");
+    num_sets_ = params_.sizeBytes / (params_.blockBytes * params_.assoc);
+    SCHEDTASK_ASSERT(num_sets_ > 0, "cache must have at least one set");
+    block_shift_ = log2Exact(params_.blockBytes);
+    // Non-power-of-two set counts are allowed (e.g. a 24-entry TLB);
+    // the index is then a modulo rather than a mask.
+    ways_.resize(num_sets_ * params_.assoc);
+}
+
+std::uint64_t
+Cache::setIndexOf(Addr addr) const
+{
+    return (addr >> block_shift_) % num_sets_;
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> block_shift_;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const std::uint64_t set = setIndexOf(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            // Fifo keeps the insertion stamp; Lru refreshes it.
+            if (params_.replacement == ReplacementPolicy::Lru)
+                base[w].lru = ++lru_clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+Addr
+Cache::insert(Addr addr)
+{
+    const std::uint64_t set = setIndexOf(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways_[set * params_.assoc];
+
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].tag == tag) {
+            // Already present (racy double-insert); just touch.
+            base[w].lru = ++lru_clock_;
+            return 0;
+        }
+        // Lru evicts the smallest timestamp; Fifo works identically
+        // because insert() stamps but access() refreshes only under
+        // Lru (see access()).
+        if (victim == nullptr || base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (victim->valid
+            && params_.replacement == ReplacementPolicy::Random) {
+        // 16-bit Galois LFSR: deterministic pseudo-random way.
+        lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xb400u);
+        victim = &base[lfsr_ % params_.assoc];
+        if (victim->tag == tag) // never evict the incoming block
+            victim = &base[(lfsr_ + 1) % params_.assoc];
+    }
+
+    Addr evicted = 0;
+    if (victim->valid)
+        evicted = victim->tag << block_shift_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++lru_clock_;
+    return evicted;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint64_t set = setIndexOf(addr);
+    const Addr tag = tagOf(addr);
+    const Way *base = &ways_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const std::uint64_t set = setIndexOf(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            return;
+        }
+    }
+}
+
+void
+Cache::flush()
+{
+    for (auto &w : ways_)
+        w.valid = false;
+}
+
+std::uint64_t
+Cache::validBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : ways_)
+        n += w.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace schedtask

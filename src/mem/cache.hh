@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Set-associative cache with true-LRU replacement.
+ *
+ * Used for L1I, L1D, private L2 and the shared LLC, for the iTLB and
+ * dTLB (with page granularity), and for the trace cache. Only tags
+ * are modelled — this is a trace-driven timing simulator, data
+ * values never matter.
+ */
+
+#ifndef SCHEDTASK_MEM_CACHE_HH
+#define SCHEDTASK_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace schedtask
+{
+
+/** Replacement policy of a set-associative cache. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,    ///< true least-recently-used (the default everywhere)
+    Fifo,   ///< oldest-inserted evicted first
+    Random, ///< pseudo-random way (deterministic LFSR)
+};
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 32 * 1024;
+    /** Associativity (ways per set). */
+    unsigned assoc = 4;
+    /** Bytes per block (64 for caches, 4096 for TLBs-as-caches). */
+    std::uint64_t blockBytes = lineBytes;
+    /** Access latency in cycles (applied by the hierarchy). */
+    Cycles latency = 3;
+    /** Victim selection on insertion. */
+    ReplacementPolicy replacement = ReplacementPolicy::Lru;
+};
+
+/**
+ * A tag-only set-associative cache.
+ *
+ * Addresses passed in are full byte addresses; the cache derives the
+ * block/tag split from its parameters.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up an address and update LRU on hit.
+     *
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /**
+     * Insert the block containing addr, evicting the LRU way.
+     *
+     * @return the byte address of the evicted block, or 0 when an
+     *         invalid way was filled.
+     */
+    Addr insert(Addr addr);
+
+    /** Probe without disturbing LRU state. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate the block containing addr if present. */
+    void invalidate(Addr addr);
+
+    /** Invalidate every block. */
+    void flush();
+
+    /** Number of currently valid blocks. */
+    std::uint64_t validBlocks() const;
+
+    /** Configured parameters. */
+    const CacheParams &params() const { return params_; }
+
+    /** Number of sets. */
+    std::uint64_t numSets() const { return num_sets_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        std::uint64_t lru = 0; // higher = more recently used
+        bool valid = false;
+    };
+
+    std::uint64_t setIndexOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params_;
+    std::uint64_t num_sets_;
+    unsigned block_shift_;
+    std::uint64_t lru_clock_ = 0;
+    std::uint32_t lfsr_ = 0xace1u; // Random replacement state
+    std::vector<Way> ways_; // num_sets_ * assoc, row-major
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_MEM_CACHE_HH

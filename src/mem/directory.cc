@@ -1,0 +1,57 @@
+#include "mem/directory.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+CoherenceDirectory::CoherenceDirectory(unsigned num_cores)
+    : num_cores_(num_cores)
+{
+    SCHEDTASK_ASSERT(num_cores >= 1 && num_cores <= 64,
+                     "full-map directory supports 1..64 cores, got ",
+                     num_cores);
+}
+
+DirectoryOutcome
+CoherenceDirectory::onRead(CoreId core, Addr line_addr)
+{
+    DirectoryOutcome out;
+    Entry &e = entries_[line_addr];
+    if (e.dirtyOwner != invalidCore && e.dirtyOwner != core) {
+        // Remote modified copy: cache-to-cache fill; the owner
+        // transitions M->O (keeps its copy as a sharer).
+        out.remoteDirtyFill = true;
+        e.dirtyOwner = invalidCore;
+    }
+    e.sharers |= (std::uint64_t{1} << core);
+    return out;
+}
+
+DirectoryOutcome
+CoherenceDirectory::onWrite(CoreId core, Addr line_addr)
+{
+    DirectoryOutcome out;
+    Entry &e = entries_[line_addr];
+    if (e.dirtyOwner != invalidCore && e.dirtyOwner != core)
+        out.remoteDirtyFill = true;
+    out.invalidateMask = e.sharers & ~(std::uint64_t{1} << core);
+    e.sharers = std::uint64_t{1} << core;
+    e.dirtyOwner = core;
+    return out;
+}
+
+void
+CoherenceDirectory::onEvict(CoreId core, Addr line_addr)
+{
+    auto it = entries_.find(line_addr);
+    if (it == entries_.end())
+        return;
+    it->second.sharers &= ~(std::uint64_t{1} << core);
+    if (it->second.dirtyOwner == core)
+        it->second.dirtyOwner = invalidCore;
+    if (it->second.sharers == 0 && it->second.dirtyOwner == invalidCore)
+        entries_.erase(it);
+}
+
+} // namespace schedtask

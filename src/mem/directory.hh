@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Coherence directory for private data caches.
+ *
+ * The simulated system (paper Table 2) uses directory-based MOESI
+ * over the private L1D/L2 hierarchy. For a trace-driven timing model
+ * the observable effects of MOESI are: (a) a write must invalidate
+ * remote copies, (b) a read that hits a remote modified copy pays a
+ * cache-to-cache transfer instead of a memory access, and (c) data
+ * bounced between cores repeatedly misses locally. This directory
+ * models exactly those effects with a full-map sharer vector and a
+ * modified-owner field per line.
+ */
+
+#ifndef SCHEDTASK_MEM_DIRECTORY_HH
+#define SCHEDTASK_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace schedtask
+{
+
+/** Outcome of consulting the directory on a data access. */
+struct DirectoryOutcome
+{
+    /** A remote core held the line modified: cache-to-cache fill. */
+    bool remoteDirtyFill = false;
+    /** Bitmask of cores whose copies must be invalidated. */
+    std::uint64_t invalidateMask = 0;
+};
+
+/**
+ * Full-map coherence directory (up to 64 cores).
+ *
+ * The Machine is responsible for actually invalidating the private
+ * caches named in the returned mask.
+ */
+class CoherenceDirectory
+{
+  public:
+    explicit CoherenceDirectory(unsigned num_cores);
+
+    /**
+     * Record a read of line_addr by core and report the transfer
+     * source characteristics.
+     */
+    DirectoryOutcome onRead(CoreId core, Addr line_addr);
+
+    /**
+     * Record a write of line_addr by core; all remote copies must
+     * be invalidated (their cores are in the returned mask).
+     */
+    DirectoryOutcome onWrite(CoreId core, Addr line_addr);
+
+    /** Drop a core from the sharer set (e.g. after local eviction). */
+    void onEvict(CoreId core, Addr line_addr);
+
+    /** Number of tracked lines (for tests and memory accounting). */
+    std::size_t trackedLines() const { return entries_.size(); }
+
+    /** Core count the directory was built for. */
+    unsigned numCores() const { return num_cores_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t sharers = 0;
+        CoreId dirtyOwner = invalidCore;
+    };
+
+    unsigned num_cores_;
+    std::unordered_map<Addr, Entry> entries_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_MEM_DIRECTORY_HH

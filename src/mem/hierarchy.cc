@@ -1,0 +1,301 @@
+#include "mem/hierarchy.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+HierarchyParams
+HierarchyParams::paperDefault(unsigned num_cores)
+{
+    HierarchyParams p;
+    p.numCores = num_cores;
+    return p;
+}
+
+HierarchyParams
+HierarchyParams::config1(unsigned num_cores)
+{
+    HierarchyParams p;
+    p.numCores = num_cores;
+    p.hasPrivateL2 = false;
+    p.llc = CacheParams{8 * 1024 * 1024, 8, lineBytes, 18};
+    return p;
+}
+
+HierarchyParams
+HierarchyParams::config2(unsigned num_cores)
+{
+    HierarchyParams p = config1(num_cores);
+    p.llc.latency = 8;
+    return p;
+}
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params)
+    : params_(params), llc_(params.llc), directory_(params.numCores)
+{
+    SCHEDTASK_ASSERT(params_.numCores >= 1, "need at least one core");
+    l1i_.reserve(params_.numCores);
+    l1d_.reserve(params_.numCores);
+    itlbs_.reserve(params_.numCores);
+    dtlbs_.reserve(params_.numCores);
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        l1i_.push_back(std::make_unique<Cache>(params_.l1i));
+        l1d_.push_back(std::make_unique<Cache>(params_.l1d));
+        if (params_.hasPrivateL2)
+            l2_.push_back(std::make_unique<Cache>(params_.l2));
+        itlbs_.push_back(std::make_unique<Tlb>(params_.itlb));
+        dtlbs_.push_back(std::make_unique<Tlb>(params_.dtlb));
+    }
+}
+
+Cycles
+MemHierarchy::fillFromShared(CoreId core, Addr line, bool &llc_hit)
+{
+    (void)core;
+    llc_hit = llc_.access(line);
+    if (llc_hit)
+        return params_.llc.latency;
+    llc_.insert(line);
+    return params_.llc.latency + params_.memLatency;
+}
+
+Cycles
+MemHierarchy::fetch(CoreId core, Addr addr, ExecClass cls)
+{
+    const Cycles stall = fetchImpl(core, addr, cls);
+    fetch_stall_cycles_ += stall;
+    return stall;
+}
+
+Cycles
+MemHierarchy::fetchImpl(CoreId core, Addr addr, ExecClass cls)
+{
+    const Addr line = lineAddrOf(addr);
+    Cycles stall = itlbs_[core]->translate(addr);
+
+    AccessCounts &counts = i_counts_[static_cast<unsigned>(cls)];
+    ++counts.accesses;
+
+    if (!trace_caches_.empty() && trace_caches_[core]->access(line)) {
+        // Trace-cache hit: served without touching the i-cache.
+        ++counts.hits;
+        return stall;
+    }
+
+    const bool hit = l1i_[core]->access(line);
+    if (prefetcher_)
+        prefetcher_->onFetch(core, line, hit, *this);
+    if (hit) {
+        ++counts.hits;
+        return stall;
+    }
+
+    // L1I miss: walk the lower levels, exposing the full latency
+    // plus the frontend refill bubble.
+    stall += params_.frontendBubbleCycles;
+    if (params_.hasPrivateL2 && l2_[core]->access(line)) {
+        stall += params_.l2.latency;
+    } else {
+        bool llc_hit = false;
+        stall += fillFromShared(core, line, llc_hit);
+        if (params_.hasPrivateL2)
+            l2_[core]->insert(line);
+    }
+    l1i_[core]->insert(line);
+    return stall;
+}
+
+Cycles
+MemHierarchy::data(CoreId core, Addr addr, bool is_write, ExecClass cls)
+{
+    const Cycles stall = dataImpl(core, addr, is_write, cls);
+    data_stall_cycles_ += stall;
+    return stall;
+}
+
+Cycles
+MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
+                       ExecClass cls)
+{
+    const Addr line = lineAddrOf(addr);
+    const double dtlb_expose = 1.0 - params_.dtlbHideFactor;
+    Cycles stall = static_cast<Cycles>(
+        std::llround(static_cast<double>(dtlbs_[core]->translate(addr))
+                     * dtlb_expose));
+
+    AccessCounts &counts = d_counts_[static_cast<unsigned>(cls)];
+    ++counts.accesses;
+
+    const DirectoryOutcome outcome = is_write
+        ? directory_.onWrite(core, line)
+        : directory_.onRead(core, line);
+
+    if (outcome.invalidateMask != 0) {
+        std::uint64_t mask = outcome.invalidateMask;
+        while (mask != 0) {
+            const unsigned victim =
+                static_cast<unsigned>(std::countr_zero(mask));
+            mask &= mask - 1;
+            l1d_[victim]->invalidate(line);
+            if (params_.hasPrivateL2)
+                l2_[victim]->invalidate(line);
+            ++coherence_invalidations_;
+        }
+    }
+
+    const bool local_hit =
+        l1d_[core]->access(line) && !outcome.remoteDirtyFill;
+
+    if (local_hit) {
+        ++counts.hits;
+        return stall;
+    }
+
+    // Fill path. Remote-dirty lines come from the owner's cache.
+    Cycles fill_latency;
+    if (outcome.remoteDirtyFill) {
+        ++remote_dirty_fills_;
+        l1d_[core]->invalidate(line); // stale copy, if any
+        fill_latency = params_.remoteFillLatency;
+    } else if (params_.hasPrivateL2 && l2_[core]->access(line)) {
+        fill_latency = params_.l2.latency;
+    } else {
+        bool llc_hit = false;
+        fill_latency = fillFromShared(core, line, llc_hit);
+        if (params_.hasPrivateL2)
+            l2_[core]->insert(line);
+    }
+    const Addr evicted = l1d_[core]->insert(line);
+    if (evicted != 0)
+        directory_.onEvict(core, evicted);
+
+    if (is_write) {
+        // Stores retire through the store buffer; only coherence
+        // transfers expose latency.
+        if (outcome.remoteDirtyFill)
+            stall += fill_latency / 2;
+        return stall;
+    }
+
+    const double expose = 1.0 - params_.dataHideFactor;
+    stall += static_cast<Cycles>(
+        std::llround(static_cast<double>(fill_latency) * expose));
+    return stall;
+}
+
+void
+MemHierarchy::onTaskStart(CoreId core, std::uint64_t task_token)
+{
+    if (prefetcher_)
+        prefetcher_->onTaskStart(core, task_token, *this);
+}
+
+void
+MemHierarchy::setPrefetcher(std::unique_ptr<InstPrefetcher> pf)
+{
+    prefetcher_ = std::move(pf);
+}
+
+void
+MemHierarchy::enableTraceCaches(const TraceCacheParams &params)
+{
+    trace_caches_.clear();
+    trace_caches_.reserve(params_.numCores);
+    for (unsigned c = 0; c < params_.numCores; ++c)
+        trace_caches_.push_back(std::make_unique<TraceCache>(params));
+}
+
+bool
+MemHierarchy::icacheContains(CoreId core, Addr addr) const
+{
+    return l1i_[core]->contains(lineAddrOf(addr));
+}
+
+void
+MemHierarchy::installInstLine(CoreId core, Addr line_addr)
+{
+    if (!l1i_[core]->contains(line_addr))
+        l1i_[core]->insert(line_addr);
+    if (params_.hasPrivateL2 && !l2_[core]->contains(line_addr))
+        l2_[core]->insert(line_addr);
+}
+
+const AccessCounts &
+MemHierarchy::iCounts(ExecClass cls) const
+{
+    return i_counts_[static_cast<unsigned>(cls)];
+}
+
+const AccessCounts &
+MemHierarchy::dCounts(ExecClass cls) const
+{
+    return d_counts_[static_cast<unsigned>(cls)];
+}
+
+AccessCounts
+MemHierarchy::iCountsTotal() const
+{
+    AccessCounts total;
+    for (const auto &c : i_counts_) {
+        total.accesses += c.accesses;
+        total.hits += c.hits;
+    }
+    return total;
+}
+
+AccessCounts
+MemHierarchy::dCountsTotal() const
+{
+    AccessCounts total;
+    for (const auto &c : d_counts_) {
+        total.accesses += c.accesses;
+        total.hits += c.hits;
+    }
+    return total;
+}
+
+double
+MemHierarchy::itlbHitRate() const
+{
+    std::uint64_t acc = 0, hit = 0;
+    for (const auto &t : itlbs_) {
+        acc += t->accesses();
+        hit += t->hits();
+    }
+    return acc == 0 ? 1.0
+                    : static_cast<double>(hit) / static_cast<double>(acc);
+}
+
+double
+MemHierarchy::dtlbHitRate() const
+{
+    std::uint64_t acc = 0, hit = 0;
+    for (const auto &t : dtlbs_) {
+        acc += t->accesses();
+        hit += t->hits();
+    }
+    return acc == 0 ? 1.0
+                    : static_cast<double>(hit) / static_cast<double>(acc);
+}
+
+void
+MemHierarchy::resetStats()
+{
+    for (auto &c : i_counts_)
+        c = AccessCounts{};
+    for (auto &c : d_counts_)
+        c = AccessCounts{};
+    coherence_invalidations_ = 0;
+    remote_dirty_fills_ = 0;
+    fetch_stall_cycles_ = 0;
+    data_stall_cycles_ = 0;
+    for (auto &t : itlbs_)
+        t->resetStats();
+    for (auto &t : dtlbs_)
+        t->resetStats();
+}
+
+} // namespace schedtask

@@ -1,0 +1,93 @@
+#include "mem/prefetcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+NextLinePrefetcher::NextLinePrefetcher(unsigned degree)
+    : degree_(degree)
+{
+    SCHEDTASK_ASSERT(degree >= 1, "prefetch degree must be >= 1");
+}
+
+void
+NextLinePrefetcher::onFetch(CoreId core, Addr line_addr, bool hit,
+                            PrefetchSink &sink)
+{
+    if (hit)
+        return;
+    for (unsigned d = 1; d <= degree_; ++d) {
+        sink.installInstLine(core, line_addr + d * lineBytes);
+        ++issued_;
+    }
+}
+
+CallGraphPrefetcher::CallGraphPrefetcher(unsigned num_cores,
+                                         unsigned record_limit,
+                                         unsigned next_line_degree)
+    : record_limit_(record_limit),
+      next_line_degree_(next_line_degree),
+      core_state_(num_cores)
+{
+}
+
+void
+CallGraphPrefetcher::onFetch(CoreId core, Addr line_addr, bool hit,
+                             PrefetchSink &sink)
+{
+    CoreState &cs = core_state_.at(core);
+    // Learn only the lines that *missed* shortly after the task
+    // started: those are the ones a prefetch would have saved.
+    // Learning hit lines and re-installing them on every start
+    // would evict useful contents for no gain (prefetch pollution).
+    if (cs.recording && cs.recorded < record_limit_) {
+        if (!hit) {
+            auto &lines = table_[cs.token];
+            if (std::find(lines.begin(), lines.end(), line_addr)
+                    == lines.end()
+                    && lines.size() < record_limit_) {
+                lines.push_back(line_addr);
+            }
+        }
+        ++cs.recorded;
+        if (cs.recorded >= record_limit_)
+            cs.recording = false;
+    }
+
+    if (!hit) {
+        // Only every other next-line prefetch is timely enough to
+        // save the subsequent miss; the late half is dropped (the
+        // demand fetch overtakes it).
+        cs.timely = !cs.timely;
+        if (cs.timely) {
+            for (unsigned d = 1; d <= next_line_degree_; ++d) {
+                sink.installInstLine(core,
+                                     line_addr + d * lineBytes);
+                ++issued_;
+            }
+        }
+    }
+}
+
+void
+CallGraphPrefetcher::onTaskStart(CoreId core, std::uint64_t task_token,
+                                 PrefetchSink &sink)
+{
+    CoreState &cs = core_state_.at(core);
+    cs.token = task_token;
+    cs.recorded = 0;
+    cs.recording = true;
+
+    auto it = table_.find(task_token);
+    if (it == table_.end())
+        return;
+    for (Addr line : it->second) {
+        sink.installInstLine(core, line);
+        ++issued_;
+    }
+}
+
+} // namespace schedtask

@@ -1,0 +1,47 @@
+#include "mem/tlb.hh"
+
+namespace schedtask
+{
+
+namespace
+{
+
+CacheParams
+tlbCacheParams(const TlbParams &p)
+{
+    CacheParams cp;
+    cp.blockBytes = pageBytes;
+    cp.assoc = p.assoc;
+    cp.sizeBytes = static_cast<std::uint64_t>(p.entries) * pageBytes;
+    cp.latency = 0;
+    return cp;
+}
+
+} // namespace
+
+Tlb::Tlb(const TlbParams &params)
+    : params_(params), cache_(tlbCacheParams(params))
+{
+}
+
+Cycles
+Tlb::translate(Addr addr)
+{
+    ++accesses_;
+    if (cache_.access(addr)) {
+        ++hits_;
+        return 0;
+    }
+    cache_.insert(addr);
+    return params_.missPenalty;
+}
+
+double
+Tlb::hitRate() const
+{
+    if (accesses_ == 0)
+        return 1.0;
+    return static_cast<double>(hits_) / static_cast<double>(accesses_);
+}
+
+} // namespace schedtask

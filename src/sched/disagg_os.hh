@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Disaggregated OS Services baseline (Lee, Georgia Tech 2013).
+ *
+ * System-call handlers are grouped into programmer-defined OS
+ * regions (all filesystem calls in one region, network calls in
+ * another, ...); applications are their own regions. Each epoch, a
+ * micro-scheduler (zero-cost per the paper's Table 3) assigns cores
+ * to regions in proportion to their observed load, and threads
+ * migrate to their region's cores at SuperFunction boundaries.
+ * There is no work stealing across regions, and interrupts/bottom
+ * halves are unmanaged — the two weaknesses SchedTask exploits.
+ */
+
+#ifndef SCHEDTASK_SCHED_DISAGG_OS_HH
+#define SCHEDTASK_SCHED_DISAGG_OS_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace schedtask
+{
+
+class DisAggregateOSScheduler : public QueueScheduler
+{
+  public:
+    DisAggregateOSScheduler() = default;
+
+    const char *name() const override { return "DisAggregateOS"; }
+
+    void attach(Machine &machine) override;
+    void onEpoch() override;
+    void onSliceEnd(CoreId core, const SuperFunction *sf, Cycles elapsed,
+                    std::uint64_t insts,
+                    const PageHeatmap &heatmap) override;
+
+    /** Region identity of a SuperFunction (tests). */
+    static std::uint64_t regionOf(const SuperFunction *sf);
+
+    /**
+     * The paper's Table 3 evaluates DisAggregateOS with zero-cycle
+     * micro-scheduling; scheduler entry points cost nothing.
+     */
+    SchedOverhead
+    overheadFor(SchedEvent event, const SuperFunction *sf) const override
+    {
+        (void)event;
+        (void)sf;
+        return {};
+    }
+
+    /** Cores currently assigned to a region; empty if none. */
+    std::vector<CoreId> coresOfRegion(std::uint64_t region) const;
+
+  protected:
+    CoreId choosePlacement(SuperFunction *sf,
+                           PlacementReason reason) override;
+
+  private:
+    /** Load observed per region this epoch. */
+    std::unordered_map<std::uint64_t, Cycles> region_load_;
+    /** Slices observed per region this epoch (for average costs). */
+    std::unordered_map<std::uint64_t, std::uint64_t> region_freq_;
+    /** region -> assigned cores. */
+    std::unordered_map<std::uint64_t, std::vector<CoreId>> assignment_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SCHED_DISAGG_OS_HH

@@ -1,0 +1,142 @@
+#include "sched/flexsc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+#include "sim/thread.hh"
+
+namespace schedtask
+{
+
+FlexSCScheduler::FlexSCScheduler(const FlexSCParams &params)
+    : params_(params)
+{
+}
+
+void
+FlexSCScheduler::attach(Machine &machine)
+{
+    QueueScheduler::attach(machine);
+    syscall_cores_ = std::max(params_.minSyscallCores, numCores() / 4);
+    syscall_time_ = 0;
+    total_time_ = 0;
+}
+
+bool
+FlexSCScheduler::isSingleThreadedSyscall(const SuperFunction *sf)
+{
+    return sf->info->category == SfCategory::SystemCall
+        && sf->thread != nullptr
+        && sf->thread->spec().singleThreadedApp;
+}
+
+CoreId
+FlexSCScheduler::choosePlacement(SuperFunction *sf,
+                                 PlacementReason reason)
+{
+    (void)reason;
+    const CoreId sys_base = syscallBase();
+
+    switch (sf->info->category) {
+      case SfCategory::SystemCall:
+        // All system calls run on the syscall cores, least-loaded
+        // first; FlexSC does not group them by type.
+        return sys_base
+            + (leastLoaded(sys_base, numCores() - 1) - sys_base);
+      case SfCategory::Application:
+        // Aggressive balancing: always the least-loaded app core.
+        return sys_base > 0 ? leastLoaded(0, sys_base - 1)
+                            : leastLoaded(0, numCores() - 1);
+      case SfCategory::Interrupt:
+      case SfCategory::BottomHalf:
+      default:
+        // Unmanaged: stay where the interrupt landed.
+        if (sf->lastCore != invalidCore && sf->lastCore < numCores())
+            return sf->lastCore;
+        return 0;
+    }
+}
+
+void
+FlexSCScheduler::onSfResume(SuperFunction *parent,
+                            const SuperFunction *completed_child)
+{
+    // A single-threaded application yielded to the Linux scheduler
+    // when it issued the call; it becomes runnable again only at
+    // the next scheduling quantum (Section 2/6.1 discussion).
+    if (completed_child != nullptr
+            && isSingleThreadedSyscall(completed_child)) {
+        machine_->scheduleDelayedWakeup(parent, params_.yieldQuantum);
+        return;
+    }
+    QueueScheduler::onSfResume(parent, completed_child);
+}
+
+void
+FlexSCScheduler::onSliceEnd(CoreId core, const SuperFunction *sf,
+                            Cycles elapsed, std::uint64_t insts,
+                            const PageHeatmap &heatmap)
+{
+    (void)core;
+    (void)insts;
+    (void)heatmap;
+    total_time_ += elapsed;
+    if (sf->info->category == SfCategory::SystemCall)
+        syscall_time_ += elapsed;
+}
+
+void
+FlexSCScheduler::onEpoch()
+{
+    // Adapt the core split to the syscall load observed last epoch.
+    if (total_time_ > 0) {
+        const double frac = static_cast<double>(syscall_time_)
+            / static_cast<double>(total_time_);
+        const auto want = static_cast<unsigned>(
+            std::lround(frac * numCores()));
+        syscall_cores_ = std::clamp(want, params_.minSyscallCores,
+                                    numCores() - 1);
+    }
+
+    // Queue-imbalance balancing (the FlexSC paper migrates work
+    // between core groups when run-queue sizes diverge): shift the
+    // partition one core toward the side with the longer queues.
+    std::size_t sys_q = 0, app_q = 0;
+    for (CoreId c = 0; c < numCores(); ++c) {
+        if (c >= syscallBase())
+            sys_q += queueLen(c);
+        else
+            app_q += queueLen(c);
+    }
+    if (sys_q > app_q + 4) {
+        syscall_cores_ = std::min(syscall_cores_ + 1, numCores() - 1);
+    } else if (app_q > sys_q + 4) {
+        syscall_cores_ =
+            std::max(syscall_cores_ - 1, params_.minSyscallCores);
+    }
+
+    syscall_time_ = 0;
+    total_time_ = 0;
+}
+
+SchedOverhead
+FlexSCScheduler::overheadFor(SchedEvent event,
+                             const SuperFunction *sf) const
+{
+    // Table 3 evaluates FlexSC with a zero-cycle user-level
+    // scheduler — except that a single-threaded process issuing a
+    // syscall runs the full Linux scheduler on the application
+    // core before yielding (the Section 2 discussion).
+    SchedOverhead oh;
+    oh.code = machine_ != nullptr ? &machine_->schedulerCode()
+                                  : nullptr;
+    if (event == SchedEvent::Start && sf != nullptr
+            && isSingleThreadedSyscall(sf)) {
+        oh.insts = params_.linuxSchedulerInsts;
+    }
+    return oh;
+}
+
+} // namespace schedtask

@@ -1,0 +1,59 @@
+#include "sched/linux_sched.hh"
+
+#include "sim/machine.hh"
+
+namespace schedtask
+{
+
+LinuxScheduler::LinuxScheduler(const LinuxSchedParams &params)
+    : params_(params)
+{
+}
+
+CoreId
+LinuxScheduler::choosePlacement(SuperFunction *sf, PlacementReason reason)
+{
+    (void)reason;
+    // Everything executes where it was invoked: system calls on the
+    // caller's core, resumed parents where the child finished,
+    // bottom halves on the interrupted core. Fresh threads are
+    // spread round-robin (fork balancing).
+    if (sf->lastCore != invalidCore && sf->lastCore < numCores())
+        return sf->lastCore;
+    const CoreId core = next_spawn_core_;
+    next_spawn_core_ = (next_spawn_core_ + 1) % numCores();
+    return core;
+}
+
+SuperFunction *
+LinuxScheduler::pickNext(CoreId core)
+{
+    return popHead(core);
+}
+
+void
+LinuxScheduler::onEpoch()
+{
+    if (!params_.balanceEachEpoch)
+        return;
+    // Load balancing: move work from the longest to the shortest
+    // queue while the imbalance is significant. Linux balances
+    // conservatively, so one pass per epoch suffices.
+    for (unsigned iter = 0; iter < numCores(); ++iter) {
+        CoreId busiest = 0, idlest = 0;
+        for (CoreId c = 1; c < numCores(); ++c) {
+            if (queueLen(c) > queueLen(busiest))
+                busiest = c;
+            if (queueLen(c) < queueLen(idlest))
+                idlest = c;
+        }
+        if (queueLen(busiest)
+                < queueLen(idlest) + params_.imbalanceThreshold) {
+            break;
+        }
+        SuperFunction *moved = takeBack(busiest);
+        enqueue(idlest, moved);
+    }
+}
+
+} // namespace schedtask

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Scheduler interface and shared run-queue machinery.
+ *
+ * A Scheduler decides, at SuperFunction boundaries, on which core
+ * each SuperFunction executes, and supplies cores with work when
+ * they go idle. The Machine invokes the scheduler at exactly the
+ * points the paper instruments with TMigrate hooks (Section 5.1):
+ * SuperFunction start, completion (resume of the parent), block,
+ * wakeup, timeslice yield, and once per epoch. Scheduler-routine
+ * execution cost is charged through overheadFor(), so techniques
+ * with expensive software paths (e.g. FlexSC's per-syscall trip
+ * through the Linux scheduler) pay for them in simulated time.
+ */
+
+#ifndef SCHEDTASK_SCHED_SCHEDULER_HH
+#define SCHEDTASK_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/super_function.hh"
+
+namespace schedtask
+{
+
+class Machine;
+class PageHeatmap;
+
+/** Which scheduler entry point is being charged for. */
+enum class SchedEvent : std::uint8_t
+{
+    Dispatch, ///< a core picked a SuperFunction to run
+    Start,    ///< a new SuperFunction was created
+    Complete, ///< a SuperFunction finished
+    Block,    ///< a SuperFunction went to the waiting state
+    Wakeup,   ///< a SuperFunction became runnable again
+    Yield,    ///< timeslice preemption
+    Epoch,    ///< per-epoch work (TAlloc)
+};
+
+/** Why a SuperFunction is being (re)placed on a core. */
+enum class PlacementReason : std::uint8_t
+{
+    NewSf,  ///< first placement of a fresh SuperFunction
+    Resume, ///< parent resuming after a child completed
+    Wakeup, ///< waiting SuperFunction woken by a bottom half
+    Yield,  ///< re-queued after timeslice preemption
+};
+
+/** Scheduler-code execution charged to a core. */
+struct SchedOverhead
+{
+    std::uint64_t insts = 0;
+    const SfTypeInfo *code = nullptr;
+};
+
+/**
+ * Abstract scheduler.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Technique name as used in the paper's figures. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Cores this technique runs on given the baseline count
+     * (SelectiveOffload uses twice the cores, Section 6.1).
+     */
+    virtual unsigned
+    coresRequired(unsigned baseline_cores) const
+    {
+        return baseline_cores;
+    }
+
+    /** Bind to the machine; called once before simulation. */
+    virtual void attach(Machine &machine);
+
+    /** A new SuperFunction must be placed and queued. */
+    virtual void onSfStart(SuperFunction *sf) = 0;
+
+    /** A SuperFunction completed; its parent (if any) resumes. */
+    virtual void onSfResume(SuperFunction *parent,
+                            const SuperFunction *completed_child) = 0;
+
+    /** The running SuperFunction blocked for a device. */
+    virtual void onSfBlock(SuperFunction *sf) = 0;
+
+    /** A waiting SuperFunction was woken by a bottom half. */
+    virtual void onSfWakeup(SuperFunction *sf) = 0;
+
+    /** The running SuperFunction was preempted by the timeslice. */
+    virtual void onSfYield(SuperFunction *sf) = 0;
+
+    /** A core asks for work; may steal; nullptr = stay idle. */
+    virtual SuperFunction *pickNext(CoreId core) = 0;
+
+    /** True when the core's queue holds at least one SuperFunction. */
+    virtual bool hasRunnable(CoreId core) const = 0;
+
+    /** Which core services the given interrupt vector. */
+    virtual CoreId routeIrq(IrqId irq) = 0;
+
+    /** Epoch boundary (TAlloc in SchedTask). */
+    virtual void onEpoch() {}
+
+    /**
+     * Mid-SuperFunction placement check (every execution chunk).
+     * SLICC migrates threads here; everyone else stays put.
+     *
+     * @return the core the SuperFunction should continue on.
+     */
+    virtual CoreId
+    midSfPlacement(SuperFunction *sf, CoreId current)
+    {
+        (void)sf;
+        return current;
+    }
+
+    /** Scheduler-code cost for an entry point. */
+    virtual SchedOverhead overheadFor(SchedEvent event,
+                                      const SuperFunction *sf) const;
+
+    /**
+     * Execution-slice accounting hook (the paper's
+     * startStatsCollection/stopStatsCollection pair). Called when a
+     * SuperFunction stops executing on a core for any reason.
+     */
+    virtual void
+    onSliceEnd(CoreId core, const SuperFunction *sf, Cycles elapsed,
+               std::uint64_t insts, const PageHeatmap &heatmap)
+    {
+        (void)core;
+        (void)sf;
+        (void)elapsed;
+        (void)insts;
+        (void)heatmap;
+    }
+
+    /** True when the machine should maintain heatmap registers. */
+    virtual bool wantsHeatmap() const { return false; }
+
+  protected:
+    Machine *machine_ = nullptr;
+};
+
+/**
+ * Shared per-core FIFO run-queue machinery.
+ *
+ * Concrete techniques implement choosePlacement() (and optionally
+ * override pickNext for work stealing); the base class keeps the
+ * queues, the FCFS order the paper relies on for fairness, and the
+ * default event plumbing.
+ */
+class QueueScheduler : public Scheduler
+{
+  public:
+    void attach(Machine &machine) override;
+
+    void onSfStart(SuperFunction *sf) override;
+    void onSfResume(SuperFunction *parent,
+                    const SuperFunction *completed_child) override;
+    void onSfBlock(SuperFunction *sf) override;
+    void onSfWakeup(SuperFunction *sf) override;
+    void onSfYield(SuperFunction *sf) override;
+    SuperFunction *pickNext(CoreId core) override;
+    bool hasRunnable(CoreId core) const override;
+    CoreId routeIrq(IrqId irq) override;
+
+  protected:
+    /** Decide the core for a SuperFunction. */
+    virtual CoreId choosePlacement(SuperFunction *sf,
+                                   PlacementReason reason) = 0;
+
+    /** Append to a core's runnable queue. */
+    void enqueue(CoreId core, SuperFunction *sf);
+
+    /** Prepend to a core's runnable queue (priority resume). */
+    void enqueueFront(CoreId core, SuperFunction *sf);
+
+    /** Pop the head of a core's queue; nullptr when empty. */
+    SuperFunction *popHead(CoreId core);
+
+    /** Pop the tail of a core's queue; nullptr when empty. */
+    SuperFunction *takeBack(CoreId core);
+
+    /** Remove a specific SuperFunction from its queue. */
+    bool removeFromQueue(SuperFunction *sf);
+
+    /** Remove every queued SuperFunction and return them. */
+    std::vector<SuperFunction *> drainAllQueues();
+
+    /** Queue length of a core. */
+    std::size_t queueLen(CoreId core) const;
+
+    /** Total queued SuperFunctions. */
+    std::size_t totalQueued() const;
+
+    /** Least-loaded core in [first, last]. */
+    CoreId leastLoaded(CoreId first, CoreId last) const;
+
+    /** Number of cores (valid after attach). */
+    unsigned numCores() const { return num_cores_; }
+
+    /** Direct access for stealing implementations. */
+    std::deque<SuperFunction *> &queueOf(CoreId core);
+    const std::deque<SuperFunction *> &queueOf(CoreId core) const;
+
+    /** The whole queue array (TMigrate's stealing view). */
+    std::vector<std::deque<SuperFunction *>> &allQueues()
+    {
+        return queues_;
+    }
+
+    /**
+     * Monotonic counter bumped on every enqueue. Idle cores use it
+     * to skip steal scans when nothing changed since their last
+     * failed attempt.
+     */
+    std::uint64_t queueVersion() const { return queue_version_; }
+
+    /** Number of queued SuperFunctions of a given type. */
+    std::size_t queuedCountOf(SfType type) const;
+
+    /** Bookkeeping hook for out-of-band removals (stealing). */
+    void noteQueueRemoval(SfType type);
+
+  private:
+    unsigned num_cores_ = 0;
+    std::vector<std::deque<SuperFunction *>> queues_;
+    IrqId rr_irq_core_ = 0;
+    std::uint64_t queue_version_ = 0;
+    std::unordered_map<std::uint64_t, std::size_t> queued_by_type_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SCHED_SCHEDULER_HH

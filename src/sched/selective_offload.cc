@@ -1,0 +1,93 @@
+#include "sched/selective_offload.hh"
+
+#include "sim/machine.hh"
+#include "sim/thread.hh"
+
+namespace schedtask
+{
+
+SelectiveOffloadScheduler::SelectiveOffloadScheduler(
+    const SelectiveOffloadParams &params)
+    : params_(params)
+{
+}
+
+bool
+SelectiveOffloadScheduler::isAdmitted(const SuperFunction *sf) const
+{
+    // One application thread per application core, shared fairly
+    // between the workload's tenants (the appendix starts bags by
+    // "allocating an equal number of cores for each benchmark"):
+    // each part may bind at most appCores/numParts threads; all
+    // surplus threads wait forever (no load balancing).
+    if (sf->thread == nullptr)
+        return false;
+    const unsigned parts =
+        std::max(1u, machine_ != nullptr ? machine_->numParts() : 1u);
+    const unsigned quota = std::max(1u, osBase() / parts);
+    return sf->thread->spec().indexInPart < quota;
+}
+
+SuperFunction *
+SelectiveOffloadScheduler::pickNext(CoreId core)
+{
+    if (core >= osBase())
+        return popHead(core); // OS cores run whatever is queued
+    // Application core: only its bound thread may run.
+    auto &q = queueOf(core);
+    for (auto it = q.begin(); it != q.end(); ++it) {
+        if (isAdmitted(*it)) {
+            SuperFunction *sf = *it;
+            q.erase(it);
+            noteQueueRemoval(sf->type);
+            return sf;
+        }
+    }
+    return nullptr;
+}
+
+CoreId
+SelectiveOffloadScheduler::choosePlacement(SuperFunction *sf,
+                                           PlacementReason reason)
+{
+    (void)reason;
+    const CoreId os_base = osBase();
+
+    if (sf->info->category == SfCategory::Application) {
+        // Pin each thread to a home application core; no stealing.
+        if (sf->thread != nullptr)
+            return sf->thread->id() % os_base;
+        return next_spawn_core_++ % os_base;
+    }
+
+    // OS SuperFunction. Short system calls stay on the invoking
+    // application core (not worth the transfer); everything else
+    // goes to the invoking application core's *fixed partner* OS
+    // core. The design has no load balancing (the paper's stated
+    // weakness): a hot partner core backs up while other OS cores
+    // idle, and each OS core still executes every handler type
+    // (i-cache and d-cache thrash on the OS side).
+    if (sf->info->category == SfCategory::SystemCall
+            && sf->phase != nullptr
+            && sf->phase->meanInsts <= params_.offloadThresholdInsts
+            && sf->lastCore != invalidCore && sf->lastCore < os_base) {
+        return sf->lastCore;
+    }
+    if (sf->thread != nullptr)
+        return os_base + sf->thread->id() % os_base;
+    if (sf->lastCore != invalidCore)
+        return os_base + sf->lastCore % os_base;
+    return os_base;
+}
+
+CoreId
+SelectiveOffloadScheduler::routeIrq(IrqId irq)
+{
+    (void)irq;
+    // Interrupts are serviced by the OS half, round-robin.
+    const CoreId core = osBase() + rr_os_core_;
+    rr_os_core_ = (rr_os_core_ + 1) % (numCores() - osBase());
+    return core;
+}
+
+} // namespace schedtask

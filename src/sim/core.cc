@@ -1,0 +1,313 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+
+namespace schedtask
+{
+
+Core::Core(CoreId id, Machine &machine, unsigned heatmap_bits, Rng rng)
+    : id_(id), m_(machine), heatmap_(heatmap_bits), rng_(rng)
+{
+    const SfTypeInfo &sched_code = m_.schedulerCode();
+    overhead_walker_.reset(&sched_code.code, sched_code.jumpProb,
+                           id % sched_code.code.size());
+}
+
+void
+Core::deliverIrq(const PendingIrq &irq)
+{
+    pending_irqs_.push_back(irq);
+}
+
+void
+Core::syncClock(Cycles to)
+{
+    if (clock_ < to)
+        clock_ = to;
+}
+
+bool
+Core::inIrqHandler() const
+{
+    return current_ != nullptr
+        && current_->info->category == SfCategory::Interrupt;
+}
+
+bool
+Core::runUntil(Cycles limit)
+{
+    const Cycles entry_clock = clock_;
+    while (clock_ < limit) {
+        if (!pending_irqs_.empty() && !inIrqHandler()) {
+            startIrqHandler();
+            continue;
+        }
+        if (current_ == nullptr) {
+            SuperFunction *next = m_.sched().pickNext(id_);
+            if (next == nullptr)
+                break; // nothing to do right now
+            next->state = SfState::Running;
+            m_.noteDispatch(id_, next);
+            current_ = next;
+            chargeOverhead(SchedEvent::Dispatch, next);
+            beginSlice(next);
+        }
+        executeCurrent(limit);
+    }
+    return clock_ != entry_clock;
+}
+
+void
+Core::startIrqHandler()
+{
+    PendingIrq irq = pending_irqs_.front();
+    pending_irqs_.pop_front();
+
+    m_.recordIrqServiced(clock_ > irq.raisedAt ? clock_ - irq.raisedAt
+                                               : 0);
+    clock_ += m_.params().irqEntryCycles;
+
+    if (current_ != nullptr) {
+        endSlice(current_);
+        current_->state = SfState::Paused;
+        m_.trace(SfEventKind::Pause, id_, current_);
+        paused_.push_back(current_);
+        current_ = nullptr;
+    }
+
+    SuperFunction *handler = m_.makeIrqSf(id_, irq);
+    handler->state = SfState::Running;
+    handler->coreId = id_;
+    current_ = handler;
+    beginSlice(handler);
+}
+
+void
+Core::beginSlice(SuperFunction *sf)
+{
+    sf->coreId = id_;
+    sf->instsThisDispatch = 0;
+    slice_start_ = clock_;
+    slice_insts_ = 0;
+    if (m_.heatmapsEnabled())
+        heatmap_.clear();
+    m_.hierarchy().onTaskStart(id_, sf->type.raw());
+}
+
+void
+Core::endSlice(SuperFunction *sf)
+{
+    m_.sched().onSliceEnd(id_, sf, clock_ - slice_start_, slice_insts_,
+                          heatmap_);
+}
+
+void
+Core::chargeOverhead(SchedEvent event, const SuperFunction *sf)
+{
+    const SchedOverhead oh = m_.sched().overheadFor(event, sf);
+    if (oh.insts == 0)
+        return;
+    const Footprint *code =
+        oh.code != nullptr ? &oh.code->code : overhead_walker_.footprint();
+    if (overhead_walker_.footprint() != code)
+        overhead_walker_.reset(code, 0.02, 0);
+
+    const std::uint64_t blocks =
+        (oh.insts + instsPerFetchBlock - 1) / instsPerFetchBlock;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        const Addr line = overhead_walker_.nextLine(rng_);
+        clock_ += m_.params().blockBaseCycles
+            + m_.hierarchy().fetch(id_, line, ExecClass::Os);
+    }
+    m_.recordOverheadInsts(blocks * instsPerFetchBlock);
+}
+
+Addr
+Core::pickDataAddr(const SuperFunction *sf)
+{
+    // Temporal burst: re-touch a recently accessed line (stack and
+    // working-struct accesses dominate real data streams).
+    if (recent_count_ > 0 && rng_.chance(recentReuseProb))
+        return recent_data_[rng_.below(recent_count_)];
+
+    const SfTypeInfo &info = *sf->info;
+    const Thread *thread = sf->thread;
+
+    Addr shared_base = 0, priv_base = 0;
+    std::uint64_t shared_bytes = 0, priv_bytes = 0;
+    double shared_prob = info.sharedDataProb;
+
+    if (info.category == SfCategory::Application) {
+        SCHEDTASK_ASSERT(thread != nullptr, "app SF without thread");
+        shared_base = thread->spec().sharedDataBase;
+        shared_bytes = thread->spec().sharedDataBytes;
+        priv_base = thread->spec().privateDataBase;
+        priv_bytes = thread->spec().privateDataBytes;
+        shared_prob = thread->profile().appSharedDataProb;
+    } else {
+        shared_base = info.sharedDataBase;
+        shared_bytes = info.sharedDataBytes;
+        if (thread != nullptr) {
+            priv_base = thread->spec().privateDataBase;
+            priv_bytes = thread->spec().privateDataBytes;
+        }
+    }
+
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+    if (shared_bytes != 0 && (priv_bytes == 0
+                              || rng_.chance(shared_prob))) {
+        base = shared_base;
+        bytes = shared_bytes;
+    } else {
+        base = priv_base;
+        bytes = priv_bytes;
+    }
+    if (bytes == 0)
+        return 0; // no data region at all: skip the access
+
+    // Hot-subset locality: most accesses target a bounded hot
+    // subset of the region (inode/dentry caches, request headers,
+    // the current rows of a scan); the rest sample the whole region
+    // cold. OOO execution hides most of the cold-miss latency (the
+    // hierarchy's dataHideFactor).
+    constexpr double hotProb = 0.9;
+    constexpr std::uint64_t hotBytesCap = 12 * 1024;
+    std::uint64_t span = bytes;
+    if (bytes > hotBytesCap && rng_.chance(hotProb))
+        span = hotBytesCap;
+    const Addr addr = base + rng_.below(span / lineBytes) * lineBytes;
+
+    recent_data_[recent_pos_] = addr;
+    recent_pos_ = (recent_pos_ + 1) % recentDataSize;
+    if (recent_count_ < recentDataSize)
+        ++recent_count_;
+    return addr;
+}
+
+void
+Core::executeCurrent(Cycles limit)
+{
+    SuperFunction *sf = current_;
+    const SfTypeInfo &info = *sf->info;
+    const ExecClass cls = info.category == SfCategory::Application
+        ? ExecClass::App : ExecClass::Os;
+    const MachineParams &p = m_.params();
+    const unsigned base_accesses =
+        static_cast<unsigned>(p.dataAccessesPerBlock);
+    const double frac_access =
+        p.dataAccessesPerBlock - static_cast<double>(base_accesses);
+    const bool heatmap_on = m_.heatmapsEnabled();
+
+    while (clock_ < limit) {
+        if (!pending_irqs_.empty() && !inIrqHandler())
+            return; // outer loop services the interrupt
+
+        // One fetch block: 16 instructions from one i-cache line.
+        const Addr line = sf->walker.nextLine(rng_);
+        Cycles cost = p.blockBaseCycles
+            + m_.hierarchy().fetch(id_, line, cls);
+
+        unsigned accesses = base_accesses;
+        if (frac_access > 0.0 && rng_.chance(frac_access))
+            ++accesses;
+        for (unsigned a = 0; a < accesses; ++a) {
+            const Addr daddr = pickDataAddr(sf);
+            if (daddr == 0)
+                continue;
+            const bool write = rng_.chance(info.writeFraction);
+            cost += m_.hierarchy().data(id_, daddr, write, cls);
+        }
+
+        clock_ += cost;
+        if (heatmap_on)
+            heatmap_.insertAddr(line);
+        if (m_.exactPagesEnabled())
+            m_.recordExactPage(sf->type, pageFrameOf(line));
+        sf->instsDone += instsPerFetchBlock;
+        sf->instsThisDispatch += instsPerFetchBlock;
+        slice_insts_ += instsPerFetchBlock;
+        m_.recordInsts(sf, instsPerFetchBlock);
+
+        // ---- Boundary checks, cheapest first ----------------------
+        if (sf->blockAtInsts != 0 && sf->instsDone >= sf->blockAtInsts) {
+            endSlice(sf);
+            chargeOverhead(SchedEvent::Block, sf);
+            m_.onSfBlockPoint(*this, sf);
+            current_ = nullptr;
+            return;
+        }
+
+        if (sf->instsDone >= sf->instsTarget) {
+            switch (info.category) {
+              case SfCategory::Application: {
+                const auto outcome = m_.onAppSliceDone(*this, sf);
+                if (outcome == Machine::AppSliceOutcome::StartedSyscall) {
+                    current_ = nullptr;
+                    return;
+                }
+                break; // budget extended; keep executing
+              }
+              case SfCategory::SystemCall:
+                endSlice(sf);
+                chargeOverhead(SchedEvent::Complete, sf);
+                m_.onSyscallComplete(*this, sf);
+                current_ = nullptr;
+                return;
+              case SfCategory::Interrupt: {
+                endSlice(sf);
+                m_.onIrqSfComplete(*this, sf);
+                // Resume the SuperFunction paused by this interrupt.
+                current_ = nullptr;
+                if (!paused_.empty()) {
+                    current_ = paused_.back();
+                    paused_.pop_back();
+                    current_->state = SfState::Running;
+                    beginSlice(current_);
+                }
+                return;
+              }
+              case SfCategory::BottomHalf:
+                endSlice(sf);
+                chargeOverhead(SchedEvent::Complete, sf);
+                m_.onBhComplete(*this, sf);
+                current_ = nullptr;
+                return;
+            }
+        }
+
+        // Timeslice preemption applies to application code only;
+        // kernel handlers run to completion (as in the paper).
+        if (info.category == SfCategory::Application
+                && sf->instsThisDispatch >= p.timesliceInsts
+                && m_.sched().hasRunnable(id_)) {
+            endSlice(sf);
+            chargeOverhead(SchedEvent::Yield, sf);
+            m_.sched().onSfYield(sf);
+            current_ = nullptr;
+            return;
+        }
+
+        // Mid-SuperFunction placement (SLICC's hardware migration).
+        // Interrupt handlers are excluded: they run to completion
+        // on the interrupted core, which also keeps the paused
+        // SuperFunctions beneath them resumable.
+        if (info.category != SfCategory::Interrupt
+                && ++blocks_since_check_ >= p.midSfCheckBlocks) {
+            blocks_since_check_ = 0;
+            const CoreId target = m_.sched().midSfPlacement(sf, id_);
+            if (target != id_) {
+                endSlice(sf);
+                chargeOverhead(SchedEvent::Yield, sf);
+                m_.sched().onSfYield(sf);
+                current_ = nullptr;
+                return;
+            }
+        }
+    }
+}
+
+} // namespace schedtask

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-core execution engine.
+ *
+ * A Core advances its local clock by executing fetch blocks (one
+ * i-cache line, 16 instructions) of the current SuperFunction,
+ * charging exposed memory stalls from the hierarchy. It services
+ * pending interrupts by pausing the current SuperFunction in place
+ * (the paper's semantics), charges scheduler-routine execution at
+ * every SuperFunction boundary, maintains the per-core Page-heatmap
+ * register, enforces the timeslice on application SuperFunctions,
+ * and performs the mid-SuperFunction placement checks SLICC uses.
+ */
+
+#ifndef SCHEDTASK_SIM_CORE_HH
+#define SCHEDTASK_SIM_CORE_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "core/page_heatmap.hh"
+#include "core/super_function.hh"
+#include "sched/scheduler.hh"
+#include "sim/interrupt.hh"
+#include "workload/footprint.hh"
+
+namespace schedtask
+{
+
+class Machine;
+
+/**
+ * One simulated core.
+ */
+class Core
+{
+  public:
+    Core(CoreId id, Machine &machine, unsigned heatmap_bits, Rng rng);
+
+    /**
+     * Advance the local clock toward `limit`, executing work.
+     *
+     * Returns true when any progress was made (the clock advanced).
+     * When the core has nothing to do it returns false with the
+     * clock untouched, so the Machine can re-poll it within the
+     * same quantum after other cores produced work, and charge idle
+     * time only for the genuinely workless remainder.
+     */
+    bool runUntil(Cycles limit);
+
+    /** Queue an interrupt for servicing. */
+    void deliverIrq(const PendingIrq &irq);
+
+    /** Local clock (synchronized to quantum ends by the Machine). */
+    Cycles clock() const { return clock_; }
+
+    /** Force the local clock forward (Machine quantum sync). */
+    void syncClock(Cycles to);
+
+    CoreId id() const { return id_; }
+
+    /** The SuperFunction currently executing, if any. */
+    const SuperFunction *current() const { return current_; }
+
+    /** True when nothing is running and nothing is pending. */
+    bool
+    isIdle() const
+    {
+        return current_ == nullptr && pending_irqs_.empty();
+    }
+
+    /** Per-core Page-heatmap register (Section 3.2 hardware). */
+    const PageHeatmap &heatmapRegister() const { return heatmap_; }
+
+    /** Interrupts delivered but not yet serviced. */
+    std::size_t pendingIrqCount() const { return pending_irqs_.size(); }
+
+  private:
+    friend class Machine;
+
+    /** True when the running SuperFunction is an interrupt handler. */
+    bool inIrqHandler() const;
+
+    /** Service the oldest pending interrupt. */
+    void startIrqHandler();
+
+    /** Execute the current SuperFunction until a boundary or limit. */
+    void executeCurrent(Cycles limit);
+
+    /** Begin an execution slice (stats bracket). */
+    void beginSlice(SuperFunction *sf);
+
+    /** End the current execution slice (stats bracket). */
+    void endSlice(SuperFunction *sf);
+
+    /** Run scheduler-routine instructions on this core. */
+    void chargeOverhead(SchedEvent event, const SuperFunction *sf);
+
+    /** Pick a data address for the running SuperFunction. */
+    Addr pickDataAddr(const SuperFunction *sf);
+
+    CoreId id_;
+    Machine &m_;
+    Cycles clock_ = 0;
+    /** Recently touched data lines: temporal bursts (stack slots,
+     *  struct fields) re-access the same lines. */
+    static constexpr unsigned recentDataSize = 16;
+    static constexpr double recentReuseProb = 0.6;
+    Addr recent_data_[recentDataSize] = {};
+    unsigned recent_count_ = 0;
+    unsigned recent_pos_ = 0;
+    SuperFunction *current_ = nullptr;
+    std::vector<SuperFunction *> paused_;
+    std::deque<PendingIrq> pending_irqs_;
+    PageHeatmap heatmap_;
+    Rng rng_;
+    FootprintWalker overhead_walker_;
+    Cycles slice_start_ = 0;
+    std::uint64_t slice_insts_ = 0;
+    unsigned blocks_since_check_ = 0;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SIM_CORE_HH

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hh"
+
+namespace schedtask
+{
+
+void
+EventQueue::schedule(Cycles when, Action action)
+{
+    heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+void
+EventQueue::runDue(Cycles now)
+{
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // Copy the action out before popping: the action may
+        // schedule new events and reallocate the heap.
+        Action action = heap_.top().action;
+        heap_.pop();
+        action();
+    }
+}
+
+Cycles
+EventQueue::nextEventCycle() const
+{
+    return heap_.empty() ? ~Cycles{0} : heap_.top().when;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace schedtask

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Discrete-event queue for device completions, delayed wakeups and
+ * ambient interrupt streams.
+ *
+ * Cores advance in synchronized quanta (see Machine); events are
+ * drained at quantum boundaries, so an event fires at most one
+ * quantum after its nominal time. Events at equal cycles fire in
+ * insertion order (deterministic).
+ */
+
+#ifndef SCHEDTASK_SIM_EVENT_QUEUE_HH
+#define SCHEDTASK_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace schedtask
+{
+
+/**
+ * A min-heap of (cycle, callback) pairs.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule an action at an absolute cycle. */
+    void schedule(Cycles when, Action action);
+
+    /** Fire every event with when <= now, in time order. */
+    void runDue(Cycles now);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Cycle of the earliest pending event; ~0 when empty. */
+    Cycles nextEventCycle() const;
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SIM_EVENT_QUEUE_HH

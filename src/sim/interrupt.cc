@@ -1,0 +1,34 @@
+#include "sim/interrupt.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+InterruptController::InterruptController(unsigned num_cores)
+    : num_cores_(num_cores)
+{
+    SCHEDTASK_ASSERT(num_cores >= 1, "need at least one core");
+}
+
+void
+InterruptController::programRoute(IrqId irq, CoreId core)
+{
+    SCHEDTASK_ASSERT(core < num_cores_, "route to invalid core ", core);
+    routes_[irq] = core;
+}
+
+void
+InterruptController::clearRoutes()
+{
+    routes_.clear();
+}
+
+CoreId
+InterruptController::routeOf(IrqId irq) const
+{
+    auto it = routes_.find(irq);
+    return it == routes_.end() ? invalidCore : it->second;
+}
+
+} // namespace schedtask

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Interrupt controller with a programmable routing table.
+ *
+ * The paper's TAlloc programs the interrupt controller so that
+ * interrupts of ID x are delivered to the core on which the
+ * corresponding interrupt SuperFunction is scheduled (Section 5.2).
+ * The controller here resolves a vector to a target core: an
+ * explicit route if programmed, otherwise whatever the scheduler's
+ * routeIrq() policy says (round-robin for the Linux baseline).
+ */
+
+#ifndef SCHEDTASK_SIM_INTERRUPT_HH
+#define SCHEDTASK_SIM_INTERRUPT_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "workload/sf_catalog.hh"
+
+namespace schedtask
+{
+
+class SuperFunction;
+
+/** An interrupt waiting to be serviced by a core. */
+struct PendingIrq
+{
+    IrqId irq = 0;
+    const SfTypeInfo *handler = nullptr;
+    std::uint64_t handlerInsts = 400;
+    const SfTypeInfo *bottomHalf = nullptr;
+    std::uint64_t bhInsts = 0;
+    /** SuperFunction the bottom half wakes (device completion). */
+    SuperFunction *wakeTarget = nullptr;
+    /** Cycle the device raised the interrupt. */
+    Cycles raisedAt = 0;
+    /** Workload part for attribution. */
+    unsigned partIndex = 0;
+};
+
+/**
+ * Routing table from vector to core.
+ */
+class InterruptController
+{
+  public:
+    explicit InterruptController(unsigned num_cores);
+
+    /** Program a fixed route (TAlloc). */
+    void programRoute(IrqId irq, CoreId core);
+
+    /** Drop all programmed routes. */
+    void clearRoutes();
+
+    /** Programmed route for a vector, or invalidCore. */
+    CoreId routeOf(IrqId irq) const;
+
+    /** Interrupts delivered so far (for stats/tests). */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /** Record one delivery. */
+    void noteDelivered() { ++delivered_; }
+
+  private:
+    unsigned num_cores_;
+    std::unordered_map<IrqId, CoreId> routes_;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SIM_INTERRUPT_HH

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * The simulated machine: cores, memory hierarchy, interrupt
+ * controller, device event queue, thread population, and the
+ * scheduler under evaluation.
+ *
+ * Time advances in synchronized quanta: each quantum, due device
+ * events fire (raising interrupts, waking SuperFunctions), then
+ * every core runs up to the quantum end. Epoch boundaries invoke
+ * the scheduler's per-epoch work (TAlloc for SchedTask). This is
+ * the quantum-synchronization scheme used by parallel full-system
+ * simulators; with the default 800-cycle quantum the cross-core
+ * skew is negligible at the paper's 3 ms epochs.
+ */
+
+#ifndef SCHEDTASK_SIM_MACHINE_HH
+#define SCHEDTASK_SIM_MACHINE_HH
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "core/super_function.hh"
+#include "mem/hierarchy.hh"
+#include "sched/scheduler.hh"
+#include "sim/core.hh"
+#include "sim/event_queue.hh"
+#include "sim/interrupt.hh"
+#include "sim/metrics.hh"
+#include "sim/sf_trace.hh"
+#include "sim/thread.hh"
+#include "stats/stat_set.hh"
+#include "workload/benchmarks.hh"
+#include "workload/workload.hh"
+
+namespace schedtask
+{
+
+/** Top-level simulation parameters. */
+struct MachineParams
+{
+    /** Number of cores the machine is built with (already adjusted
+     *  for techniques that use extra cores). */
+    unsigned numCores = 32;
+
+    /** Quantum length for core synchronization. Small enough that
+     *  a cross-core enqueue rarely strands an idle core for long. */
+    Cycles quantum = 250;
+
+    /** Epoch length (the paper's 3 ms, at simulation time scale). */
+    Cycles epochCycles = 250000;
+
+    /** Timeslice for application SuperFunctions, in instructions. */
+    std::uint64_t timesliceInsts = 20000;
+
+    /** Pipelined cost of one 16-instruction fetch block. */
+    Cycles blockBaseCycles = 8;
+
+    /** Mean data accesses per fetch block. */
+    double dataAccessesPerBlock = 1.2;
+
+    /** Core frequency used to convert cycles to seconds. */
+    double coreFrequencyGHz = 2.0;
+
+    /** Master seed; every stochastic stream derives from it. */
+    std::uint64_t seed = 1;
+
+    /** Page-heatmap register width (Section 6.5 sweeps this). */
+    unsigned heatmapBits = 512;
+
+    /** Record per-epoch instruction breakups (Section 4.4). */
+    bool recordEpochBreakups = false;
+
+    /** Fixed interrupt entry cost. */
+    Cycles irqEntryCycles = 120;
+
+    /** Cadence (in fetch blocks) of mid-SF placement checks. */
+    unsigned midSfCheckBlocks = 32;
+
+    /** Track the exact set of code pages each superFuncType
+     *  touches (ground truth for the Fig. 11 ranking study). */
+    bool trackExactPages = false;
+};
+
+/**
+ * A complete simulated system.
+ *
+ * The machine owns the cores, the hierarchy and the threads; the
+ * scheduler is owned by the caller (it outlives the run) and is
+ * attached at construction.
+ */
+class Machine
+{
+  public:
+    /**
+     * Build the machine.
+     *
+     * @param params    machine parameters (numCores is authoritative)
+     * @param hier      hierarchy parameters (core count overridden)
+     * @param suite     benchmark suite providing the SF catalog
+     * @param workload  instantiated workload (threads + ambient IRQs)
+     * @param scheduler technique under evaluation
+     */
+    Machine(const MachineParams &params, const HierarchyParams &hier,
+            BenchmarkSuite &suite, const Workload &workload,
+            Scheduler &scheduler);
+
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Simulate for `duration` cycles. */
+    void run(Cycles duration);
+
+    /** Clear all statistics (call between warmup and measurement). */
+    void resetStats();
+
+    /** Snapshot of the metrics accumulated since the last reset. */
+    SimMetrics metricsSnapshot() const;
+
+    /**
+     * Export every counter of the machine — simulation metrics,
+     * cache/TLB rates, coherence traffic, prefetcher activity —
+     * into a named StatSet (gem5-style stats dump).
+     */
+    void exportStats(StatSet &stats) const;
+
+    // ---- Accessors -------------------------------------------------
+
+    unsigned numCores() const { return params_.numCores; }
+    Cycles now() const { return now_; }
+    const MachineParams &params() const { return params_; }
+    MemHierarchy &hierarchy() { return *hierarchy_; }
+    const MemHierarchy &hierarchy() const { return *hierarchy_; }
+    Scheduler &sched() { return *scheduler_; }
+    InterruptController &irqController() { return irq_ctrl_; }
+    EventQueue &events() { return events_; }
+    const SfTypeInfo &schedulerCode() const { return *sched_code_; }
+    std::vector<std::unique_ptr<Thread>> &threads() { return threads_; }
+    const std::vector<std::unique_ptr<Thread>> &threads() const
+    {
+        return threads_;
+    }
+    Core &core(CoreId id) { return *cores_[id]; }
+
+    /** Workload part count (event attribution). */
+    unsigned numParts() const { return num_parts_; }
+
+    // ---- Services used by cores and schedulers ---------------------
+
+    /** Raise an interrupt: routed and queued at the target core. */
+    void raiseIrq(const PendingIrq &irq);
+
+    /**
+     * Schedule a waiting SuperFunction to be woken after `delay`
+     * cycles (FlexSC's deferred single-threaded resume).
+     */
+    void scheduleDelayedWakeup(SuperFunction *sf, Cycles delay);
+
+    /** Account retired SuperFunction instructions. */
+    void recordInsts(SuperFunction *sf, std::uint64_t insts);
+
+    /** Account scheduler-routine instructions. */
+    void recordOverheadInsts(std::uint64_t insts);
+
+    /** Account one serviced interrupt and its dispatch latency. */
+    void recordIrqServiced(Cycles latency);
+
+    /** Account idle core-cycles. */
+    void
+    recordIdle(CoreId core, Cycles cycles)
+    {
+        metrics_.idleCycles += cycles;
+        if (core < metrics_.perCoreIdleCycles.size())
+            metrics_.perCoreIdleCycles[core] += cycles;
+    }
+
+    /** Dispatch bookkeeping: migration counting. */
+    void noteDispatch(CoreId core, SuperFunction *sf);
+
+    // ---- SuperFunction lifecycle (called by Core) -------------------
+
+    /** Outcome of an application SuperFunction reaching its target. */
+    enum class AppSliceOutcome
+    {
+        StartedSyscall, ///< child created; core must release
+        ContinueApp,    ///< budget extended; keep running
+    };
+
+    AppSliceOutcome onAppSliceDone(Core &core, SuperFunction *sf);
+    void onSyscallComplete(Core &core, SuperFunction *sf);
+    void onIrqSfComplete(Core &core, SuperFunction *sf);
+    void onBhComplete(Core &core, SuperFunction *sf);
+    void onSfBlockPoint(Core &core, SuperFunction *sf);
+
+    /** Build an interrupt-handler SuperFunction for a pending IRQ. */
+    SuperFunction *makeIrqSf(CoreId core, const PendingIrq &irq);
+
+    /** True when the scheduler wants heatmap maintenance. */
+    bool heatmapsEnabled() const { return heatmaps_enabled_; }
+
+    /** True when exact page tracking is on. */
+    bool exactPagesEnabled() const { return params_.trackExactPages; }
+
+    /** Record a touched code page for a type (exact tracking). */
+    void
+    recordExactPage(SfType type, Addr pfn)
+    {
+        exact_pages_[type.raw()].insert(pfn);
+    }
+
+    /** Drop accumulated exact pages (epoch alignment). */
+    void clearExactPages() { exact_pages_.clear(); }
+
+    /** Exact touched code pages per superFuncType. */
+    const std::unordered_map<std::uint64_t,
+                             std::unordered_set<Addr>> &
+    exactPagesByType() const
+    {
+        return exact_pages_;
+    }
+
+    /** All handler SuperFunctions ever allocated (diagnostics). */
+    const std::vector<std::unique_ptr<SuperFunction>> &sfPool() const
+    {
+        return sf_pool_;
+    }
+
+    /** Attach (or detach with nullptr) a SuperFunction tracer. */
+    void attachTracer(SfTracer *tracer) { tracer_ = tracer; }
+
+    /** Record one trace event if a tracer is attached. */
+    void
+    trace(SfEventKind kind, CoreId core, const SuperFunction *sf)
+    {
+        if (tracer_ == nullptr)
+            return;
+        SfEvent e;
+        e.when = now_;
+        e.kind = kind;
+        e.core = core;
+        e.tid = sf->tid;
+        e.type = sf->type;
+        e.sfId = sf->id;
+        e.typeName =
+            sf->info != nullptr ? sf->info->name.c_str() : "";
+        tracer_->record(e);
+    }
+
+  private:
+    /** Charge the scheduler's per-epoch work (TAlloc) to core 0. */
+    void chargeEpochWork();
+
+    SuperFunction *allocSf();
+    void recycleSf(SuperFunction *sf);
+    void armAmbientStream(const AmbientIrqInstance &inst);
+    void countTransaction(Thread &thread);
+
+    MachineParams params_;
+    std::unique_ptr<MemHierarchy> hierarchy_;
+    Scheduler *scheduler_;
+    InterruptController irq_ctrl_;
+    EventQueue events_;
+    Rng rng_;
+    SfIdAllocator id_alloc_;
+    const SfTypeInfo *sched_code_;
+    unsigned num_parts_ = 0;
+    bool heatmaps_enabled_ = false;
+
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+
+    std::vector<std::unique_ptr<SuperFunction>> sf_pool_;
+    std::vector<SuperFunction *> sf_free_;
+
+    Cycles now_ = 0;
+    Cycles next_epoch_ = 0;
+
+    SimMetrics metrics_;
+    std::unordered_map<std::uint64_t, std::uint64_t> epoch_insts_;
+    std::unordered_map<std::uint64_t, std::unordered_set<Addr>>
+        exact_pages_;
+    SfTracer *tracer_ = nullptr;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SIM_MACHINE_HH

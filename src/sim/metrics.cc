@@ -1,0 +1,66 @@
+#include "sim/metrics.hh"
+
+namespace schedtask
+{
+
+double
+SimMetrics::ipc(unsigned num_cores) const
+{
+    const double core_cycles =
+        static_cast<double>(cycles) * static_cast<double>(num_cores);
+    return core_cycles == 0.0
+        ? 0.0 : static_cast<double>(instsRetired) / core_cycles;
+}
+
+double
+SimMetrics::idleFraction(unsigned num_cores) const
+{
+    const double core_cycles =
+        static_cast<double>(cycles) * static_cast<double>(num_cores);
+    return core_cycles == 0.0
+        ? 0.0 : static_cast<double>(idleCycles) / core_cycles;
+}
+
+double
+SimMetrics::instThroughput(double freq_ghz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(cycles) / (freq_ghz * 1e9);
+    return static_cast<double>(instsRetired) / seconds;
+}
+
+double
+SimMetrics::appEventsPerSecond(double freq_ghz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(cycles) / (freq_ghz * 1e9);
+    return static_cast<double>(appEvents) / seconds;
+}
+
+double
+SimMetrics::meanIrqLatency() const
+{
+    return irqCount == 0
+        ? 0.0
+        : static_cast<double>(irqLatencySum)
+            / static_cast<double>(irqCount);
+}
+
+double
+SimMetrics::categoryFraction(SfCategory cat) const
+{
+    std::uint64_t total = 0;
+    for (auto v : instsByCategory)
+        total += v;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(
+               instsByCategory[static_cast<unsigned>(cat)])
+        / static_cast<double>(total);
+}
+
+} // namespace schedtask

@@ -1,0 +1,109 @@
+#include "sim/sf_trace.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+const char *
+sfEventKindName(SfEventKind kind)
+{
+    switch (kind) {
+      case SfEventKind::Dispatch:
+        return "dispatch";
+      case SfEventKind::Complete:
+        return "complete";
+      case SfEventKind::Block:
+        return "block";
+      case SfEventKind::Wakeup:
+        return "wakeup";
+      case SfEventKind::Pause:
+        return "pause";
+      case SfEventKind::Migrate:
+        return "migrate";
+    }
+    return "unknown";
+}
+
+SfTracer::SfTracer(std::size_t capacity)
+    : capacity_(capacity)
+{
+    SCHEDTASK_ASSERT(capacity >= 1, "tracer needs capacity");
+    ring_.reserve(capacity);
+}
+
+void
+SfTracer::record(const SfEvent &event)
+{
+    ++total_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(event);
+        head_ = ring_.size() % capacity_;
+        return;
+    }
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    wrapped_ = true;
+}
+
+std::vector<SfEvent>
+SfTracer::events() const
+{
+    std::vector<SfEvent> out;
+    out.reserve(ring_.size());
+    if (!wrapped_) {
+        out = ring_;
+        return out;
+    }
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+std::size_t
+SfTracer::size() const
+{
+    return ring_.size();
+}
+
+void
+SfTracer::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    wrapped_ = false;
+}
+
+std::string
+SfTracer::render(ThreadId only_tid, std::size_t max_events) const
+{
+    std::ostringstream os;
+    os << std::left << std::setw(12) << "cycle" << std::setw(10)
+       << "event" << std::setw(6) << "core" << std::setw(8) << "tid"
+       << "superfunction\n";
+    std::size_t emitted = 0;
+    for (const SfEvent &e : events()) {
+        if (only_tid != invalidThread && e.tid != only_tid)
+            continue;
+        if (emitted++ >= max_events) {
+            os << "... (truncated)\n";
+            break;
+        }
+        os << std::setw(12) << e.when << std::setw(10)
+           << sfEventKindName(e.kind) << std::setw(6) << e.core;
+        if (e.tid == invalidThread)
+            os << std::setw(8) << "-";
+        else
+            os << std::setw(8) << e.tid;
+        os << (e.typeName != nullptr && e.typeName[0] != '\0'
+                   ? e.typeName
+                   : "?")
+           << " #" << (e.sfId & 0xffffff) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace schedtask

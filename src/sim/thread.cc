@@ -1,0 +1,62 @@
+#include "sim/thread.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+Thread::Thread(ThreadId id, const ThreadSpec &spec, Rng rng)
+    : id_(id), spec_(spec), rng_(rng)
+{
+    SCHEDTASK_ASSERT(spec_.profile != nullptr, "thread needs a profile");
+    SCHEDTASK_ASSERT(!spec_.profile->transaction.empty(),
+                     "profile ", spec_.profile->name, " has no phases");
+
+    const SfTypeInfo &app_info = *spec_.profile->app;
+    app_sf_.type = app_info.type;
+    app_sf_.tid = id;
+    app_sf_.info = &app_info;
+    app_sf_.thread = this;
+    app_sf_.partIndex = spec_.partIndex;
+    // Stagger the initial position so co-located threads do not walk
+    // the binary in lockstep.
+    app_sf_.walker.reset(&app_info.code, app_info.jumpProb,
+                         rng_.below(app_info.code.size()));
+    // Stagger the starting phase as well.
+    phase_idx_ = rng_.below(spec_.profile->transaction.size());
+    prepareAppSlice();
+}
+
+const TransactionPhase &
+Thread::currentPhase() const
+{
+    return spec_.profile->transaction[phase_idx_];
+}
+
+bool
+Thread::advancePhase()
+{
+    ++phase_idx_;
+    if (phase_idx_ >= spec_.profile->transaction.size()) {
+        phase_idx_ = 0;
+        // The application's request loop restarts its body: the next
+        // transaction re-executes the same code from the loop head,
+        // which is what gives application code its i-cache locality.
+        app_sf_.walker.rewind();
+        return true;
+    }
+    return false;
+}
+
+void
+Thread::prepareAppSlice()
+{
+    const TransactionPhase &phase = currentPhase();
+    const std::uint64_t insts = phase.appMeanInsts == 0
+        ? instsPerFetchBlock
+        : rng_.taskLength(static_cast<double>(phase.appMeanInsts));
+    app_sf_.instsTarget = app_sf_.instsDone
+        + std::max<std::uint64_t>(insts, instsPerFetchBlock);
+}
+
+} // namespace schedtask

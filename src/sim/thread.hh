@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simulated thread: owns the persistent application SuperFunction
+ * and walks its benchmark's transaction script.
+ *
+ * Per the paper, an application SuperFunction is the entire
+ * user-mode execution of a process: it is created once and lives
+ * until the thread terminates, while handler SuperFunctions are
+ * created per invocation. The thread advances through transaction
+ * phases; the Machine uses it to decide what happens when the
+ * current SuperFunction finishes its instruction budget.
+ */
+
+#ifndef SCHEDTASK_SIM_THREAD_HH
+#define SCHEDTASK_SIM_THREAD_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "core/super_function.hh"
+#include "workload/workload.hh"
+
+namespace schedtask
+{
+
+/**
+ * One simulated thread of one application process.
+ */
+class Thread
+{
+  public:
+    Thread(ThreadId id, const ThreadSpec &spec, Rng rng);
+
+    ThreadId id() const { return id_; }
+    const ThreadSpec &spec() const { return spec_; }
+    const BenchmarkProfile &profile() const { return *spec_.profile; }
+
+    /** The persistent application SuperFunction. */
+    SuperFunction &appSf() { return app_sf_; }
+    const SuperFunction &appSf() const { return app_sf_; }
+
+    /** Current transaction phase. */
+    const TransactionPhase &currentPhase() const;
+
+    /**
+     * Move to the next phase.
+     *
+     * @return true when the transaction wrapped (events complete).
+     */
+    bool advancePhase();
+
+    /**
+     * Set the app SuperFunction's next instruction budget from the
+     * current phase (drawn from a geometric distribution).
+     */
+    void prepareAppSlice();
+
+    /** Thread-local deterministic RNG. */
+    Rng &rng() { return rng_; }
+
+    /** Retired instructions attributed to this thread (measured
+     *  window only; reset by Machine::resetStats). */
+    std::uint64_t instsRetired = 0;
+
+    /** Core this thread last executed on (migration detection). */
+    CoreId lastCore = invalidCore;
+
+  private:
+    ThreadId id_;
+    ThreadSpec spec_;
+    SuperFunction app_sf_;
+    std::size_t phase_idx_ = 0;
+    Rng rng_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SIM_THREAD_HH

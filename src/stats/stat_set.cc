@@ -1,0 +1,83 @@
+#include "stats/stat_set.hh"
+
+#include <sstream>
+
+namespace schedtask
+{
+
+namespace
+{
+const Stat emptyStat{};
+}
+
+Stat &
+StatSet::get(const std::string &name)
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+        order_.push_back(name);
+        it = stats_.emplace(name, Stat{}).first;
+    }
+    return it->second;
+}
+
+const Stat &
+StatSet::peek(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? emptyStat : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return stats_.count(name) != 0;
+}
+
+std::vector<std::string>
+StatSet::names() const
+{
+    return order_;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &kv : stats_)
+        kv.second.reset();
+}
+
+std::string
+StatSet::dumpJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &name : order_) {
+        const Stat &s = stats_.at(name);
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  \"" << name << "\": {\"sum\": " << s.sum()
+           << ", \"samples\": " << s.samples() << "}";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &name : order_) {
+        const Stat &s = stats_.at(name);
+        os << name << " = " << s.sum();
+        if (s.samples() > 1)
+            os << " (mean " << s.mean() << " over "
+               << s.samples() << " samples)";
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace schedtask

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Subsystems register scalar counters and averages into a StatSet;
+ * the harness dumps or diffs them after a run. This mirrors the role
+ * of the Tejas/gem5 stats packages at the scale this project needs.
+ */
+
+#ifndef SCHEDTASK_STATS_STAT_SET_HH
+#define SCHEDTASK_STATS_STAT_SET_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace schedtask
+{
+
+/** A scalar statistic: a running sum with an optional sample count. */
+class Stat
+{
+  public:
+    /** Add a value to the running sum (and one sample). */
+    void
+    add(double v)
+    {
+        sum_ += v;
+        ++samples_;
+    }
+
+    /** Increment the sum by 1. */
+    void inc() { add(1.0); }
+
+    /** Running total. */
+    double sum() const { return sum_; }
+
+    /** Number of samples added. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Mean of the added samples; 0 when empty. */
+    double
+    mean() const
+    {
+        return samples_ == 0
+            ? 0.0 : sum_ / static_cast<double>(samples_);
+    }
+
+    /** Reset to the freshly constructed state. */
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        samples_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t samples_ = 0;
+};
+
+/**
+ * An ordered collection of named Stats.
+ *
+ * Lookup creates on first use so instrumentation sites stay terse.
+ */
+class StatSet
+{
+  public:
+    /** Get (creating if absent) the stat with the given name. */
+    Stat &get(const std::string &name);
+
+    /** Read-only lookup; returns 0-valued stat if absent. */
+    const Stat &peek(const std::string &name) const;
+
+    /** True if a stat with this name has been created. */
+    bool has(const std::string &name) const;
+
+    /** Names in insertion order. */
+    std::vector<std::string> names() const;
+
+    /** Reset every contained stat. */
+    void resetAll();
+
+    /** Render "name = value" lines (sum, and mean when meaningful). */
+    std::string dump() const;
+
+    /** Render as a JSON object: {"name": {"sum":..,"samples":..}}. */
+    std::string dumpJson() const;
+
+  private:
+    std::map<std::string, Stat> stats_;
+    std::vector<std::string> order_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_STATS_STAT_SET_HH

@@ -1,0 +1,74 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SCHEDTASK_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    SCHEDTASK_ASSERT(cells.size() == headers_.size(),
+                     "row width ", cells.size(), " != header width ",
+                     headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::showpos << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ")
+               << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+        }
+        os << " |\n";
+    };
+
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|-" : "-|-")
+           << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+} // namespace schedtask

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness.
+ *
+ * Every figure/table reproduction binary prints its rows through
+ * this class so output is uniform and diff-friendly.
+ */
+
+#ifndef SCHEDTASK_STATS_TABLE_HH
+#define SCHEDTASK_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace schedtask
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Cells are strings; numeric helpers format with fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 1);
+
+    /** Format a signed percentage change, e.g. "+11.4" / "-51.0". */
+    static std::string pct(double v, int decimals = 1);
+
+    /** Render with aligned columns and a header separator. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_STATS_TABLE_HH

@@ -1,0 +1,350 @@
+#include "workload/benchmarks.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+namespace
+{
+
+constexpr std::uint64_t kib = 1024;
+
+/** Mean device latencies, in cycles, at the simulator's time scale. */
+constexpr Cycles diskLatency = 9000;
+constexpr Cycles netLatency = 3500;
+
+} // namespace
+
+BenchmarkSuite::BenchmarkSuite()
+{
+    buildFind();
+    buildIscp();
+    buildOscp();
+    buildApache();
+    buildDss();
+    buildFileSrv();
+    buildMailSrvIO();
+    buildOltp();
+}
+
+const std::vector<std::string> &
+BenchmarkSuite::benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "Find", "Iscp", "Oscp", "Apache",
+        "DSS", "FileSrv", "MailSrvIO", "OLTP",
+    };
+    return names;
+}
+
+const BenchmarkProfile &
+BenchmarkSuite::byName(const std::string &name) const
+{
+    for (const auto &p : profiles_)
+        if (p.name == name)
+            return p;
+    SCHEDTASK_PANIC("unknown benchmark: ", name);
+}
+
+BenchmarkProfile &
+BenchmarkSuite::add(BenchmarkProfile profile)
+{
+    profiles_.push_back(std::move(profile));
+    return profiles_.back();
+}
+
+namespace
+{
+
+/** Convenience builder for a blocking system-call phase. */
+SyscallPhase
+blockingCall(const SfCatalog &cat, const char *handler,
+             std::uint64_t mean_insts, double block_prob,
+             Cycles device_latency, IrqId irq, const char *irq_handler,
+             const char *bottom_half, std::uint64_t bh_insts)
+{
+    SyscallPhase sc;
+    sc.handler = &cat.byName(handler);
+    sc.meanInsts = mean_insts;
+    sc.blockProb = block_prob;
+    sc.meanDeviceCycles = device_latency;
+    sc.irq = irq;
+    sc.irqHandler = &cat.byName(irq_handler);
+    sc.irqMeanInsts = 200;
+    sc.bottomHalf = &cat.byName(bottom_half);
+    sc.bhMeanInsts = bh_insts;
+    return sc;
+}
+
+/** Convenience builder for a non-blocking system-call phase. */
+SyscallPhase
+fastCall(const SfCatalog &cat, const char *handler,
+         std::uint64_t mean_insts)
+{
+    SyscallPhase sc;
+    sc.handler = &cat.byName(handler);
+    sc.meanInsts = mean_insts;
+    return sc;
+}
+
+/** Standard per-core timer tick stream (period is system-wide). */
+AmbientIrqSpec
+timerStream(const SfCatalog &cat, Cycles mean_period)
+{
+    AmbientIrqSpec spec;
+    spec.meanPeriod = mean_period;
+    spec.irq = SfCatalog::irqTimer;
+    spec.handler = &cat.byName("irq_timer");
+    spec.handlerMeanInsts = 200;
+    spec.bottomHalf = &cat.byName("bh_timer");
+    spec.bhMeanInsts = 700;
+    return spec;
+}
+
+} // namespace
+
+void
+BenchmarkSuite::buildFind()
+{
+    // Recursive inode search: light app logic, heavy fs syscalls
+    // (Fig. 4: ~35% app, ~55% syscalls).
+    const SfCatalog &cat = catalog_;
+    BenchmarkProfile p;
+    p.name = "Find";
+    p.app = &catalog_.addApplication("find", 48 * kib);
+    p.threadsAt1X = 0; // single-threaded, one process per core
+    p.eventsPerTransaction = 1; // one inode entry searched
+    p.privateDataBytes = 32 * kib;
+    p.sharedDataBytes = 64 * kib;
+    p.transaction = {
+        {1300, fastCall(cat, "sys_getdents", 2300)},
+        {1000, fastCall(cat, "sys_stat", 1400)},
+        {800, fastCall(cat, "sys_open", 1000)},
+        {1100, blockingCall(cat, "sys_read", 1900, 0.18, diskLatency,
+                            SfCatalog::irqDisk, "irq_disk", "bh_block",
+                            3200)},
+        {700, fastCall(cat, "sys_close", 500)},
+    };
+    p.ambient = {timerStream(cat, 12000)};
+    add(std::move(p));
+}
+
+void
+BenchmarkSuite::buildIscp()
+{
+    // Inbound secure copy: decryption dominates (high app fraction),
+    // network receive + disk write syscalls.
+    const SfCatalog &cat = catalog_;
+    BenchmarkProfile p;
+    p.name = "Iscp";
+    p.app = &catalog_.addApplication("scp", 112 * kib);
+    p.threadsAt1X = 0;
+    p.eventsPerTransaction = 1; // one data packet received
+    p.privateDataBytes = 128 * kib;
+    p.sharedDataBytes = 128 * kib;
+    p.transaction = {
+        {700, blockingCall(cat, "sys_recv", 1800, 0.45, netLatency,
+                           SfCatalog::irqNet, "irq_net", "bh_net_rx",
+                           2600)},
+        {7200, blockingCall(cat, "sys_write", 2200, 0.12, diskLatency,
+                            SfCatalog::irqDisk, "irq_disk", "bh_block",
+                            3000)},
+    };
+    p.ambient = {timerStream(cat, 12000)};
+    add(std::move(p));
+}
+
+void
+BenchmarkSuite::buildOscp()
+{
+    // Outbound secure copy: mirror image of Iscp (Fig. 4 shows
+    // nearly identical breakups).
+    const SfCatalog &cat = catalog_;
+    BenchmarkProfile p;
+    p.name = "Oscp";
+    p.app = &catalog_.addApplication("scp", 112 * kib); // same binary
+    p.threadsAt1X = 0;
+    p.eventsPerTransaction = 1; // one data packet transmitted
+    p.privateDataBytes = 128 * kib;
+    p.sharedDataBytes = 128 * kib;
+    p.transaction = {
+        {6800, blockingCall(cat, "sys_read", 2000, 0.14, diskLatency,
+                            SfCatalog::irqDisk, "irq_disk", "bh_block",
+                            3000)},
+        {800, blockingCall(cat, "sys_send", 1900, 0.32, netLatency,
+                           SfCatalog::irqNet, "irq_net", "bh_net_tx",
+                           2100)},
+    };
+    p.ambient = {timerStream(cat, 12000)};
+    add(std::move(p));
+}
+
+void
+BenchmarkSuite::buildApache()
+{
+    // Web server: socket-heavy syscalls plus a large fraction of
+    // network interrupts and RX bottom halves (Fig. 4: ~20% BH).
+    const SfCatalog &cat = catalog_;
+    BenchmarkProfile p;
+    p.name = "Apache";
+    p.app = &catalog_.addApplication("apache", 176 * kib);
+    p.threadsAt1X = 96; // 3 in-flight requests per core (Section 4.2)
+    p.eventsPerTransaction = 1; // one web page served
+    p.privateDataBytes = 64 * kib;
+    p.sharedDataBytes = 512 * kib;
+    p.transaction = {
+        {700, blockingCall(cat, "sys_accept", 900, 0.55, netLatency,
+                           SfCatalog::irqNet, "irq_net", "bh_net_rx",
+                           2800)},
+        {1200, blockingCall(cat, "sys_read", 1300, 0.15, diskLatency,
+                            SfCatalog::irqDisk, "irq_disk", "bh_block",
+                            2800)},
+        {2400, blockingCall(cat, "sys_send", 1800, 0.30, netLatency,
+                            SfCatalog::irqNet, "irq_net", "bh_net_tx",
+                            2000)},
+        {500, fastCall(cat, "sys_poll", 700)},
+    };
+    // Multi-queue NIC: four RSS queues stream RX interrupts, each
+    // routed on its own vector (so interrupt work can spread over
+    // several cores under every technique).
+    p.ambient = {timerStream(cat, 12000)};
+    for (unsigned q = 0; q < SfCatalog::numNetQueues; ++q) {
+        AmbientIrqSpec rx;
+        rx.meanPeriod = 3400 * SfCatalog::numNetQueues;
+        rx.irq = SfCatalog::irqNetQueueBase + q;
+        rx.handler = &cat.byName("irq_net_q" + std::to_string(q));
+        rx.handlerMeanInsts = 900;
+        rx.bottomHalf = &cat.byName("bh_net_rx");
+        rx.bhMeanInsts = 2600;
+        p.ambient.push_back(rx);
+    }
+    add(std::move(p));
+}
+
+void
+BenchmarkSuite::buildDss()
+{
+    // Decision support (TPC-H minimal cost supplier on MySQL):
+    // long scans and aggregations, ~80% application instructions.
+    const SfCatalog &cat = catalog_;
+    BenchmarkProfile p;
+    p.name = "DSS";
+    p.app = &catalog_.addApplication("mysqld", 288 * kib);
+    p.threadsAt1X = 48;
+    p.eventsPerTransaction = 1; // one query chunk processed
+    p.privateDataBytes = 512 * kib;
+    p.sharedDataBytes = 2048 * kib; // buffer pool
+    p.appSharedDataProb = 0.55;
+    p.transaction = {
+        {11500, blockingCall(cat, "sys_pread", 2600, 0.22, diskLatency,
+                             SfCatalog::irqDisk, "irq_disk", "bh_block",
+                             2800)},
+        {9000, fastCall(cat, "sys_futex", 800)},
+    };
+    p.ambient = {timerStream(cat, 12000)};
+    add(std::move(p));
+}
+
+void
+BenchmarkSuite::buildFileSrv()
+{
+    // Filebench fileserver with 400 threads: fs-syscall heavy with
+    // very long block bottom halves (~24k instructions, Section 6.4)
+    // -> ~35% of execution in bottom halves.
+    const SfCatalog &cat = catalog_;
+    BenchmarkProfile p;
+    p.name = "FileSrv";
+    p.app = &catalog_.addApplication("filebench", 96 * kib);
+    p.threadsAt1X = 400;
+    p.eventsPerTransaction = 5; // five file operations per loop
+    p.privateDataBytes = 32 * kib;
+    p.sharedDataBytes = 512 * kib;
+    p.transaction = {
+        {1300, fastCall(cat, "sys_open", 1100)},
+        {900, blockingCall(cat, "sys_write", 2600, 0.13, diskLatency,
+                           SfCatalog::irqDisk, "irq_disk", "bh_block",
+                           24000)},
+        {1000, blockingCall(cat, "sys_read", 2400, 0.10, diskLatency,
+                            SfCatalog::irqDisk, "irq_disk", "bh_block",
+                            24000)},
+        {700, blockingCall(cat, "sys_fsync", 2200, 0.11, diskLatency,
+                           SfCatalog::irqDisk, "irq_disk", "bh_block",
+                           24000)},
+        {500, fastCall(cat, "sys_unlink", 1500)},
+        {500, fastCall(cat, "sys_close", 500)},
+    };
+    // NVMe-style completion queues: ack-only interrupts on two
+    // vectors.
+    p.ambient = {timerStream(cat, 12000)};
+    for (unsigned q = 0; q < SfCatalog::numDiskQueues; ++q) {
+        AmbientIrqSpec disk;
+        disk.meanPeriod = 5200 * SfCatalog::numDiskQueues;
+        disk.irq = SfCatalog::irqDiskQueueBase + q;
+        disk.handler = &cat.byName("irq_disk_q" + std::to_string(q));
+        disk.handlerMeanInsts = 800;
+        disk.bottomHalf = nullptr;
+        p.ambient.push_back(disk);
+    }
+    add(std::move(p));
+}
+
+void
+BenchmarkSuite::buildMailSrvIO()
+{
+    // Filebench mailserver IO with 96 threads: the most
+    // syscall-dominated benchmark (~70% syscall instructions).
+    const SfCatalog &cat = catalog_;
+    BenchmarkProfile p;
+    p.name = "MailSrvIO";
+    p.app = &catalog_.addApplication("filebench", 96 * kib);
+    p.threadsAt1X = 96;
+    p.eventsPerTransaction = 2; // mail operations per loop
+    p.privateDataBytes = 32 * kib;
+    p.sharedDataBytes = 256 * kib;
+    p.transaction = {
+        {650, fastCall(cat, "sys_open", 1700)},
+        {550, blockingCall(cat, "sys_read", 3100, 0.10, diskLatency,
+                           SfCatalog::irqDisk, "irq_disk", "bh_block",
+                           4000)},
+        {700, blockingCall(cat, "sys_write", 3400, 0.10, diskLatency,
+                           SfCatalog::irqDisk, "irq_disk", "bh_block",
+                           4000)},
+        {400, blockingCall(cat, "sys_fsync", 2600, 0.14, diskLatency,
+                           SfCatalog::irqDisk, "irq_disk", "bh_block",
+                           4000)},
+        {450, fastCall(cat, "sys_unlink", 2100)},
+        {350, fastCall(cat, "sys_close", 700)},
+    };
+    p.ambient = {timerStream(cat, 12000)};
+    add(std::move(p));
+}
+
+void
+BenchmarkSuite::buildOltp()
+{
+    // Sysbench OLTP against MySQL with 96 threads: breakup similar
+    // to DSS (Fig. 4), shorter transactions.
+    const SfCatalog &cat = catalog_;
+    BenchmarkProfile p;
+    p.name = "OLTP";
+    p.app = &catalog_.addApplication("mysqld", 288 * kib); // same binary
+    p.threadsAt1X = 96;
+    p.eventsPerTransaction = 1; // one query processed
+    p.privateDataBytes = 256 * kib;
+    p.sharedDataBytes = 2048 * kib;
+    p.appSharedDataProb = 0.55;
+    p.transaction = {
+        {6800, blockingCall(cat, "sys_pread", 1900, 0.18, diskLatency,
+                            SfCatalog::irqDisk, "irq_disk", "bh_block",
+                            2800)},
+        {5200, blockingCall(cat, "sys_write", 1300, 0.08, diskLatency,
+                            SfCatalog::irqDisk, "irq_disk", "bh_block",
+                            2800)},
+        {2600, fastCall(cat, "sys_futex", 500)},
+    };
+    p.ambient = {timerStream(cat, 12000)};
+    add(std::move(p));
+}
+
+} // namespace schedtask

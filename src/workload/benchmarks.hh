@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The 8 OS-intensive benchmarks of Section 4.2.
+ *
+ * Each benchmark is a generative model calibrated against the
+ * paper's characterization (Figure 4 instruction breakups, thread
+ * counts, the 24k-instruction FileSrv bottom halves of Section 6.4,
+ * single- vs multi-threaded structure). Find, Iscp and Oscp are
+ * single-threaded and spawn one process per core; the rest are
+ * multi-threaded servers.
+ */
+
+#ifndef SCHEDTASK_WORKLOAD_BENCHMARKS_HH
+#define SCHEDTASK_WORKLOAD_BENCHMARKS_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "workload/script.hh"
+#include "workload/sf_catalog.hh"
+
+namespace schedtask
+{
+
+/**
+ * Owns the SfCatalog and the 8 benchmark profiles.
+ */
+class BenchmarkSuite
+{
+  public:
+    BenchmarkSuite();
+
+    /** The shared type catalog (kernel + binaries). */
+    SfCatalog &catalog() { return catalog_; }
+    const SfCatalog &catalog() const { return catalog_; }
+
+    /** The 8 benchmark names in the paper's order. */
+    static const std::vector<std::string> &benchmarkNames();
+
+    /** Profile lookup by paper name (e.g. "Apache"); fatal if
+     *  missing. */
+    const BenchmarkProfile &byName(const std::string &name) const;
+
+    /** All profiles, paper order. */
+    const std::deque<BenchmarkProfile> &profiles() const
+    {
+        return profiles_;
+    }
+
+  private:
+    BenchmarkProfile &add(BenchmarkProfile profile);
+
+    void buildFind();
+    void buildIscp();
+    void buildOscp();
+    void buildApache();
+    void buildDss();
+    void buildFileSrv();
+    void buildMailSrvIO();
+    void buildOltp();
+
+    SfCatalog catalog_;
+    std::deque<BenchmarkProfile> profiles_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_WORKLOAD_BENCHMARKS_HH

@@ -1,0 +1,47 @@
+#include "workload/region_map.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+RegionMap::RegionMap() = default;
+
+const Region &
+RegionMap::allocate(const std::string &name, std::uint64_t bytes)
+{
+    SCHEDTASK_ASSERT(!name.empty(), "region needs a name");
+    if (by_name_.count(name) != 0)
+        SCHEDTASK_PANIC("duplicate region name: ", name);
+    SCHEDTASK_ASSERT(bytes > 0, "region '", name, "' has zero size");
+
+    const std::uint64_t rounded =
+        (bytes + pageBytes - 1) & ~(pageBytes - 1);
+
+    Region r;
+    r.name = name;
+    r.base = next_;
+    r.bytes = rounded;
+    next_ += rounded;
+
+    by_name_.emplace(name, regions_.size());
+    regions_.push_back(std::move(r));
+    return regions_.back();
+}
+
+const Region &
+RegionMap::find(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        SCHEDTASK_PANIC("unknown region: ", name);
+    return regions_[it->second];
+}
+
+bool
+RegionMap::has(const std::string &name) const
+{
+    return by_name_.count(name) != 0;
+}
+
+} // namespace schedtask

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Layout of the simulated physical address space.
+ *
+ * The paper measures footprint overlap in terms of *physical* page
+ * frames (Section 3.2): two processes mapping the same executable or
+ * shared library touch the same frames. We therefore build workloads
+ * on top of a RegionMap that hands out named, page-aligned physical
+ * regions; code footprints are composed from (possibly shared)
+ * regions, which makes overlap between e.g. the read and pread
+ * handlers, or two scp instances, fall out naturally.
+ */
+
+#ifndef SCHEDTASK_WORKLOAD_REGION_MAP_HH
+#define SCHEDTASK_WORKLOAD_REGION_MAP_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace schedtask
+{
+
+/** A contiguous, page-aligned range of physical memory. */
+struct Region
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    /** Number of cache lines covered. */
+    std::uint64_t lines() const { return bytes / lineBytes; }
+
+    /** Number of pages covered. */
+    std::uint64_t pages() const { return bytes / pageBytes; }
+
+    /** Address of the i-th cache line. */
+    Addr
+    lineAddr(std::uint64_t i) const
+    {
+        return base + i * lineBytes;
+    }
+};
+
+/**
+ * Allocator of named physical regions.
+ *
+ * Allocation is append-only and deterministic: the same sequence of
+ * allocate() calls yields the same layout.
+ */
+class RegionMap
+{
+  public:
+    RegionMap();
+
+    /**
+     * Allocate a fresh region. Size is rounded up to a whole page.
+     * Names must be unique.
+     */
+    const Region &allocate(const std::string &name, std::uint64_t bytes);
+
+    /** Find a previously allocated region; fatal if missing. */
+    const Region &find(const std::string &name) const;
+
+    /** True if a region with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Total bytes allocated so far. */
+    std::uint64_t totalBytes() const { return next_ - firstBase_; }
+
+  private:
+    static constexpr Addr firstBase_ = 0x10000; // skip page zero
+    Addr next_ = firstBase_;
+    std::vector<Region> regions_;
+    std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_WORKLOAD_REGION_MAP_HH

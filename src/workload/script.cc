@@ -1,0 +1,4 @@
+// Intentionally empty: script.hh defines aggregate types only. The
+// translation unit exists so the build exposes missing-definition
+// errors early if behaviour is ever added to the script types.
+#include "workload/script.hh"

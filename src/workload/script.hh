@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Generative behaviour scripts for benchmark threads.
+ *
+ * A benchmark is modelled as a population of threads, each running
+ * an endless loop over a *transaction*: a sequence of phases, each
+ * consisting of some application compute followed (optionally) by a
+ * system call. System calls may block for a device; the device
+ * completion raises an interrupt whose handler schedules a bottom
+ * half, which finally wakes the blocked call — the full path in
+ * Figure 2 of the paper. Ambient interrupt streams (timer ticks,
+ * unsolicited network RX) are described separately.
+ *
+ * The instruction counts are means of geometric distributions drawn
+ * per instance, so consecutive epochs are statistically similar but
+ * not identical — exactly the property Section 4.4 measures.
+ */
+
+#ifndef SCHEDTASK_WORKLOAD_SCRIPT_HH
+#define SCHEDTASK_WORKLOAD_SCRIPT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/sf_catalog.hh"
+
+namespace schedtask
+{
+
+/** The system-call part of a transaction phase. */
+struct SyscallPhase
+{
+    const SfTypeInfo *handler = nullptr;
+    /** Mean instructions executed by the handler. */
+    std::uint64_t meanInsts = 2000;
+    /** Probability this instance blocks for a device. */
+    double blockProb = 0.0;
+    /** Fraction of the handler executed before blocking. */
+    double preBlockFraction = 0.6;
+    /** Mean device service latency in cycles. */
+    Cycles meanDeviceCycles = 0;
+    /** Interrupt raised at device completion. The top half only
+     *  acks the device and schedules the bottom half, so it is
+     *  short; the bottom half carries the real work. */
+    IrqId irq = 0;
+    const SfTypeInfo *irqHandler = nullptr;
+    std::uint64_t irqMeanInsts = 200;
+    /** Bottom half scheduled by the interrupt handler. */
+    const SfTypeInfo *bottomHalf = nullptr;
+    std::uint64_t bhMeanInsts = 3000;
+};
+
+/** One phase of a transaction: app compute, then an optional call. */
+struct TransactionPhase
+{
+    /** Mean application instructions before the system call. */
+    std::uint64_t appMeanInsts = 1000;
+    /** The system call, if any (handler == nullptr means none). */
+    SyscallPhase syscall;
+
+    bool hasSyscall() const { return syscall.handler != nullptr; }
+};
+
+/** An unsolicited interrupt source (timer tick, network RX). */
+struct AmbientIrqSpec
+{
+    /** Mean cycles between arrivals, system-wide. */
+    Cycles meanPeriod = 100000;
+    IrqId irq = 0;
+    const SfTypeInfo *handler = nullptr;
+    std::uint64_t handlerMeanInsts = 400;
+    const SfTypeInfo *bottomHalf = nullptr;
+    std::uint64_t bhMeanInsts = 1500;
+};
+
+/**
+ * The complete generative model of one benchmark.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+    /** The application superFuncType all threads of this app share. */
+    const SfTypeInfo *app = nullptr;
+
+    /** The looped transaction. */
+    std::vector<TransactionPhase> transaction;
+
+    /** Application-specific events produced per transaction (the
+     *  paper counts pages served / packets copied / queries done). */
+    std::uint64_t eventsPerTransaction = 1;
+
+    /**
+     * Threads at workload 1X. For single-threaded applications this
+     * is 0 and one process is spawned per core (Section 4.2).
+     */
+    unsigned threadsAt1X = 0;
+
+    /** True for Find/Iscp/Oscp: one process per core at 1X. */
+    bool singleThreadedPerCore() const { return threadsAt1X == 0; }
+
+    /** Ambient interrupt streams. */
+    std::vector<AmbientIrqSpec> ambient;
+
+    /** Per-thread private data bytes (stack/heap/working set). */
+    std::uint64_t privateDataBytes = 64 * 1024;
+
+    /** Shared application data bytes (buffer pool, docroot cache). */
+    std::uint64_t sharedDataBytes = 256 * 1024;
+
+    /** Probability an app data access targets the shared region. */
+    double appSharedDataProb = 0.4;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_WORKLOAD_SCRIPT_HH

@@ -1,0 +1,284 @@
+#include "workload/sf_catalog.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+namespace
+{
+constexpr std::uint64_t kib = 1024;
+}
+
+SfCatalog::SfCatalog()
+{
+    // ---- Kernel code regions -------------------------------------
+    // Sizes chosen so that individual handler footprints are tens of
+    // KB and the combined footprint of an OS-intensive workload
+    // exceeds 250 KB, matching the characterization in the paper.
+    regions_.allocate("kentry", 8 * kib);       // entry/exit stubs
+    regions_.allocate("vfs", 40 * kib);         // VFS core
+    regions_.allocate("ext3", 56 * kib);        // filesystem
+    regions_.allocate("pagecache", 32 * kib);   // page cache / MM
+    regions_.allocate("block", 24 * kib);       // block layer
+    regions_.allocate("netcore", 40 * kib);     // net device core
+    regions_.allocate("tcp", 56 * kib);         // TCP/IP
+    regions_.allocate("sock", 24 * kib);        // socket layer
+    regions_.allocate("proc", 32 * kib);        // process mgmt
+    regions_.allocate("mm", 32 * kib);          // memory mgmt
+    regions_.allocate("sched", 16 * kib);       // kernel scheduler
+    regions_.allocate("irqstub", 8 * kib);      // IRQ entry
+    regions_.allocate("drv_disk", 16 * kib);    // disk driver
+    regions_.allocate("drv_net", 16 * kib);     // NIC driver
+    regions_.allocate("softirq", 8 * kib);      // softirq core
+    regions_.allocate("bh_block", 16 * kib);    // block softirq body
+    regions_.allocate("bh_net_rx", 24 * kib);   // net RX softirq body
+    regions_.allocate("bh_net_tx", 16 * kib);   // net TX softirq body
+    regions_.allocate("libc", 96 * kib);        // shared C library
+
+    // ---- System call handlers ------------------------------------
+    // read and pread share their entire composition apart from the
+    // VFS fraction; this is the paper's Section 3.2 example of two
+    // types that should land on the same core.
+    addSyscall("sys_read", 3, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.6}, {"pagecache", 0.4},
+                {"ext3", 0.4}, {"block", 0.3}},
+               48 * kib);
+    addSyscall("sys_pread", 180, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.65}, {"pagecache", 0.4},
+                {"ext3", 0.4}, {"block", 0.3}},
+               48 * kib);
+    addSyscall("sys_write", 4, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.6}, {"pagecache", 0.5},
+                {"ext3", 0.55}, {"block", 0.35}},
+               48 * kib);
+    addSyscall("sys_open", 5, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.8}, {"ext3", 0.3}},
+               32 * kib);
+    addSyscall("sys_close", 6, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.3}},
+               16 * kib);
+    addSyscall("sys_stat", 106, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.5}, {"ext3", 0.25}},
+               24 * kib);
+    addSyscall("sys_getdents", 141, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.5}, {"ext3", 0.45}},
+               32 * kib);
+    addSyscall("sys_unlink", 10, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.5}, {"ext3", 0.5}},
+               24 * kib);
+    addSyscall("sys_fsync", 118, "fs",
+               {{"kentry", 1.0}, {"vfs", 0.3}, {"ext3", 0.6},
+                {"block", 0.5}},
+               32 * kib);
+    addSyscall("sys_recv", 102, "net",
+               {{"kentry", 1.0}, {"sock", 1.0}, {"tcp", 0.75},
+                {"netcore", 0.5}},
+               48 * kib);
+    addSyscall("sys_send", 103, "net",
+               {{"kentry", 1.0}, {"sock", 1.0}, {"tcp", 0.7},
+                {"netcore", 0.5}},
+               48 * kib);
+    addSyscall("sys_accept", 104, "net",
+               {{"kentry", 1.0}, {"sock", 0.8}, {"netcore", 0.4},
+                {"tcp", 0.3}},
+               24 * kib);
+    addSyscall("sys_poll", 168, "net",
+               {{"kentry", 1.0}, {"vfs", 0.3}, {"sock", 0.4}},
+               16 * kib);
+    addSyscall("sys_fork", 2, "proc",
+               {{"kentry", 1.0}, {"proc", 0.9}, {"mm", 0.5}},
+               32 * kib);
+    addSyscall("sys_futex", 240, "proc",
+               {{"kentry", 1.0}, {"proc", 0.35}, {"sched", 0.4}},
+               16 * kib);
+    addSyscall("sys_mmap", 90, "mm",
+               {{"kentry", 1.0}, {"mm", 0.7}},
+               16 * kib);
+
+    // ---- Interrupt handlers --------------------------------------
+    addInterrupt("irq_timer", irqTimer,
+                 {{"irqstub", 1.0}, {"sched", 0.35}}, 4 * kib);
+    addInterrupt("irq_kbd", irqKeyboard,
+                 {{"irqstub", 1.0}}, 4 * kib);
+    addInterrupt("irq_net", irqNet,
+                 {{"irqstub", 1.0}, {"drv_net", 1.0}}, 16 * kib);
+    addInterrupt("irq_disk", irqDisk,
+                 {{"irqstub", 1.0}, {"drv_disk", 1.0}}, 16 * kib);
+    // Multi-queue vectors: every queue of a device runs the same
+    // driver code (full footprint overlap between the queue types —
+    // exactly what the Page-heatmap mechanism should detect).
+    for (unsigned q = 0; q < numNetQueues; ++q) {
+        addInterrupt("irq_net_q" + std::to_string(q),
+                     irqNetQueueBase + q,
+                     {{"irqstub", 1.0}, {"drv_net", 1.0}}, 8 * kib);
+    }
+    for (unsigned q = 0; q < numDiskQueues; ++q) {
+        addInterrupt("irq_disk_q" + std::to_string(q),
+                     irqDiskQueueBase + q,
+                     {{"irqstub", 1.0}, {"drv_disk", 1.0}}, 8 * kib);
+    }
+
+    // ---- Bottom-half handlers ------------------------------------
+    addBottomHalf("bh_block", "fs",
+                  {{"softirq", 1.0}, {"bh_block", 1.0}, {"block", 0.35}},
+                  32 * kib);
+    addBottomHalf("bh_net_rx", "net",
+                  {{"softirq", 1.0}, {"bh_net_rx", 1.0}, {"tcp", 0.4},
+                   {"netcore", 0.35}},
+                  48 * kib);
+    addBottomHalf("bh_net_tx", "net",
+                  {{"softirq", 1.0}, {"bh_net_tx", 1.0},
+                   {"netcore", 0.3}},
+                  32 * kib);
+    addBottomHalf("bh_timer", "proc",
+                  {{"softirq", 1.0}, {"sched", 0.5}}, 8 * kib);
+
+    // ---- Scheduler pseudo-type -----------------------------------
+    // Execution of scheduler routines (the Linux scheduler in the
+    // baseline, TMigrate/TAlloc in SchedTask, the user-level
+    // scheduler of FlexSC) is charged to this type. The paper
+    // excludes scheduler instructions from the instruction breakup
+    // but includes them in instruction throughput; the Machine does
+    // the same via the isOverhead flag.
+    SfTypeInfo sched_info;
+    sched_info.type = SfType::bottomHalf(0x5ced);
+    sched_info.name = "sched_code";
+    sched_info.category = SfCategory::BottomHalf;
+    sched_info.subsystem = "proc";
+    sched_info.code = composeFootprint({{"sched", 0.8}});
+    sched_info.sharedDataBase = allocData("sched_code.data", 8 * kib);
+    sched_info.sharedDataBytes = 8 * kib;
+    sched_info.sharedDataProb = 0.8;
+    scheduler_code_ = &addInfo(std::move(sched_info));
+}
+
+SfTypeInfo &
+SfCatalog::addInfo(SfTypeInfo info)
+{
+    for (const auto &existing : infos_) {
+        if (existing.name == info.name)
+            SCHEDTASK_PANIC("duplicate SfTypeInfo name: ", info.name);
+    }
+    infos_.push_back(std::move(info));
+    return infos_.back();
+}
+
+Footprint
+SfCatalog::composeFootprint(const std::vector<RegionPart> &parts) const
+{
+    Footprint fp;
+    for (const auto &part : parts)
+        fp.addRegionFraction(regions_.find(part.region), part.fraction);
+    SCHEDTASK_ASSERT(fp.size() > 0, "empty footprint");
+    return fp;
+}
+
+Addr
+SfCatalog::allocData(const std::string &name, std::uint64_t bytes)
+{
+    return regions_.allocate(name, bytes).base;
+}
+
+const SfTypeInfo &
+SfCatalog::addSyscall(const std::string &name, std::uint64_t syscall_id,
+                      const std::string &subsystem,
+                      const std::vector<RegionPart> &parts,
+                      std::uint64_t shared_data_bytes)
+{
+    SfTypeInfo info;
+    info.type = SfType::systemCall(syscall_id);
+    info.name = name;
+    info.category = SfCategory::SystemCall;
+    info.subsystem = subsystem;
+    info.code = composeFootprint(parts);
+    if (shared_data_bytes > 0) {
+        info.sharedDataBase = allocData(name + ".data", shared_data_bytes);
+        info.sharedDataBytes = shared_data_bytes;
+    }
+    return addInfo(std::move(info));
+}
+
+const SfTypeInfo &
+SfCatalog::addInterrupt(const std::string &name, IrqId irq,
+                        const std::vector<RegionPart> &parts,
+                        std::uint64_t shared_data_bytes)
+{
+    SfTypeInfo info;
+    info.type = SfType::interrupt(irq);
+    info.name = name;
+    info.category = SfCategory::Interrupt;
+    info.subsystem = "irq";
+    info.code = composeFootprint(parts);
+    if (shared_data_bytes > 0) {
+        info.sharedDataBase = allocData(name + ".data", shared_data_bytes);
+        info.sharedDataBytes = shared_data_bytes;
+        info.sharedDataProb = 0.9; // device rings are shared state
+    }
+    return addInfo(std::move(info));
+}
+
+const SfTypeInfo &
+SfCatalog::addBottomHalf(const std::string &name,
+                         const std::string &subsystem,
+                         const std::vector<RegionPart> &parts,
+                         std::uint64_t shared_data_bytes)
+{
+    SfTypeInfo info;
+    info.type = SfType::bottomHalf(next_bh_pc_++);
+    info.name = name;
+    info.category = SfCategory::BottomHalf;
+    info.subsystem = subsystem;
+    info.code = composeFootprint(parts);
+    if (shared_data_bytes > 0) {
+        info.sharedDataBase = allocData(name + ".data", shared_data_bytes);
+        info.sharedDataBytes = shared_data_bytes;
+        info.sharedDataProb = 0.7;
+    }
+    return addInfo(std::move(info));
+}
+
+const SfTypeInfo &
+SfCatalog::addApplication(const std::string &name,
+                          std::uint64_t binary_bytes,
+                          double libc_fraction)
+{
+    // Re-registering the same binary returns the existing type:
+    // two scp processes share text pages and hence a superFuncType.
+    const std::string region_name = "bin." + name;
+    if (regions_.has(region_name))
+        return byName(name);
+
+    const Region &binary = regions_.allocate(region_name, binary_bytes);
+
+    SfTypeInfo info;
+    info.name = name;
+    info.category = SfCategory::Application;
+    info.code.addRegion(binary);
+    info.code.addRegionFraction(regions_.find("libc"), libc_fraction);
+    // Section 3.1: the application superFuncType is the checksum of
+    // the code pages it touches.
+    info.type = SfType::application(info.code.pageChecksum());
+    info.jumpProb = 0.06;
+    return addInfo(std::move(info));
+}
+
+const SfTypeInfo &
+SfCatalog::byName(const std::string &name) const
+{
+    for (const auto &info : infos_)
+        if (info.name == name)
+            return info;
+    SCHEDTASK_PANIC("unknown SfTypeInfo: ", name);
+}
+
+const SfTypeInfo *
+SfCatalog::bySfType(SfType type) const
+{
+    for (const auto &info : infos_)
+        if (info.type == type)
+            return &info;
+    return nullptr;
+}
+
+} // namespace schedtask

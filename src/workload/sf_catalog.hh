@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Catalog of SuperFunction types and their code footprints.
+ *
+ * The catalog plays the role of the kernel image plus the installed
+ * application binaries: it lays out the physical code regions of the
+ * kernel subsystems (VFS, ext3, block layer, network core, TCP,
+ * socket layer, MM, scheduler, IRQ stubs, softirq, drivers) and of
+ * each application binary, and composes per-superFuncType footprints
+ * out of them. Because footprints share regions, the page overlap
+ * structure the paper relies on (read ~ pread >> fork; two scp
+ * processes sharing text pages; all apps sharing libc) emerges from
+ * construction rather than from hand-written overlap numbers.
+ */
+
+#ifndef SCHEDTASK_WORKLOAD_SF_CATALOG_HH
+#define SCHEDTASK_WORKLOAD_SF_CATALOG_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/sf_type.hh"
+#include "workload/footprint.hh"
+#include "workload/region_map.hh"
+
+namespace schedtask
+{
+
+/**
+ * Static description of one superFuncType: its code footprint and
+ * data-access behaviour.
+ */
+struct SfTypeInfo
+{
+    SfType type;
+    std::string name;
+    SfCategory category = SfCategory::SystemCall;
+
+    /** Kernel subsystem ("fs", "net", "proc", "mm", "irq"); empty
+     *  for applications. Used by the DisAggregateOS baseline. */
+    std::string subsystem;
+
+    /** Code lines this type executes over. */
+    Footprint code;
+
+    /** Probability a fetch takes a local branch (loops, if/else). */
+    double jumpProb = 0.08;
+
+    /** Shared data touched by every instance of the type (OS
+     *  structures, app shared state). 0 bytes = none. */
+    Addr sharedDataBase = 0;
+    std::uint64_t sharedDataBytes = 0;
+
+    /** Probability a data access targets the shared region (the
+     *  rest go to the thread's private data). OS handlers mostly
+     *  manipulate shared kernel structures (inode/dentry caches,
+     *  socket buffers, request queues). */
+    double sharedDataProb = 0.75;
+
+    /** Fraction of data accesses that are stores. */
+    double writeFraction = 0.3;
+};
+
+/** Composition element: a named region and the fraction to include. */
+struct RegionPart
+{
+    std::string region;
+    double fraction = 1.0;
+};
+
+/**
+ * Builds and owns every SfTypeInfo plus the physical region map.
+ *
+ * SfTypeInfo objects have stable addresses for the lifetime of the
+ * catalog (they are handed around by pointer).
+ */
+class SfCatalog
+{
+  public:
+    /** Construct the standard kernel layout (regions + OS types). */
+    SfCatalog();
+
+    /** The region map (also used to allocate workload data). */
+    RegionMap &regions() { return regions_; }
+    const RegionMap &regions() const { return regions_; }
+
+    /** Define a system-call handler type. */
+    const SfTypeInfo &addSyscall(const std::string &name,
+                                 std::uint64_t syscall_id,
+                                 const std::string &subsystem,
+                                 const std::vector<RegionPart> &parts,
+                                 std::uint64_t shared_data_bytes);
+
+    /** Define an interrupt handler type. */
+    const SfTypeInfo &addInterrupt(const std::string &name, IrqId irq,
+                                   const std::vector<RegionPart> &parts,
+                                   std::uint64_t shared_data_bytes);
+
+    /** Define a bottom-half handler type. */
+    const SfTypeInfo &addBottomHalf(const std::string &name,
+                                    const std::string &subsystem,
+                                    const std::vector<RegionPart> &parts,
+                                    std::uint64_t shared_data_bytes);
+
+    /**
+     * Define an application type from a binary region (allocated
+     * here) plus the shared libc. The superFuncType subcategory is
+     * the checksum of the code pages, as in Section 3.1.
+     */
+    const SfTypeInfo &addApplication(const std::string &name,
+                                     std::uint64_t binary_bytes,
+                                     double libc_fraction = 0.5);
+
+    /** Look up a type by name; fatal if missing. */
+    const SfTypeInfo &byName(const std::string &name) const;
+
+    /** Look up by SfType; nullptr if unknown. */
+    const SfTypeInfo *bySfType(SfType type) const;
+
+    /** All registered type infos. */
+    const std::deque<SfTypeInfo> &all() const { return infos_; }
+
+    /** The pseudo-type used to charge scheduler-routine execution. */
+    const SfTypeInfo &schedulerCode() const { return *scheduler_code_; }
+
+    /** Standard interrupt IDs (Linux 2.6 conventions). */
+    static constexpr IrqId irqTimer = 0;
+    static constexpr IrqId irqKeyboard = 1;
+    static constexpr IrqId irqNet = 11;
+    static constexpr IrqId irqDisk = 14;
+
+    /** Multi-queue device vectors (RSS NIC queues, NVMe queues).
+     *  Each queue has its own vector so interrupt load can spread
+     *  over several cores, as on real hardware. */
+    static constexpr IrqId irqNetQueueBase = 40;  // 40..43
+    static constexpr unsigned numNetQueues = 4;
+    static constexpr IrqId irqDiskQueueBase = 44; // 44..45
+    static constexpr unsigned numDiskQueues = 2;
+
+  private:
+    SfTypeInfo &addInfo(SfTypeInfo info);
+    Footprint composeFootprint(const std::vector<RegionPart> &parts) const;
+    Addr allocData(const std::string &name, std::uint64_t bytes);
+
+    RegionMap regions_;
+    std::deque<SfTypeInfo> infos_;
+    const SfTypeInfo *scheduler_code_ = nullptr;
+    std::uint64_t next_bh_pc_ = 0xffffffff81000000ULL >> 6;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_WORKLOAD_SF_CATALOG_HH

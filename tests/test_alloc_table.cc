@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the allocation table (Section 5.2): proportional
+ * allocation, overlap-guided bin packing of light types, safety
+ * staffing, and the shape comparison used by the stability guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/alloc_table.hh"
+#include "workload/sf_catalog.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+PageHeatmap
+footprintHeatmap(const SfTypeInfo &info)
+{
+    PageHeatmap hm(512);
+    for (Addr line : info.code.lines())
+        hm.insertAddr(line);
+    return hm;
+}
+
+} // namespace
+
+TEST(AllocTable, HeavyTypeGetsProportionalCores)
+{
+    std::vector<TypeLoad> demand = {
+        {SfType::application(1), 750.0}, // 3/4 of the load
+        {SfType::systemCall(1), 250.0},
+    };
+    const AllocTable table =
+        AllocTable::build(demand, OverlapTable{}, 8);
+    const auto *app_cores = table.coresFor(SfType::application(1));
+    const auto *sys_cores = table.coresFor(SfType::systemCall(1));
+    ASSERT_NE(app_cores, nullptr);
+    ASSERT_NE(sys_cores, nullptr);
+    EXPECT_GE(app_cores->size(), 4u);
+    EXPECT_GE(sys_cores->size(), 1u);
+    EXPECT_GT(app_cores->size(), sys_cores->size());
+}
+
+TEST(AllocTable, EveryTypeGetsAtLeastOneCore)
+{
+    std::vector<TypeLoad> demand;
+    for (int i = 0; i < 6; ++i)
+        demand.push_back({SfType::systemCall(i), 100.0 + i});
+    const AllocTable table =
+        AllocTable::build(demand, OverlapTable{}, 32);
+    for (const TypeLoad &load : demand) {
+        const auto *cores = table.coresFor(load.type);
+        ASSERT_NE(cores, nullptr);
+        EXPECT_GE(cores->size(), 1u);
+    }
+}
+
+TEST(AllocTable, AllCoresUsed)
+{
+    // Pass 3: with fewer types than cores, leftover cores go to the
+    // heavy types — no core stays unassigned.
+    std::vector<TypeLoad> demand = {
+        {SfType::application(1), 600.0},
+        {SfType::systemCall(1), 400.0},
+    };
+    const AllocTable table =
+        AllocTable::build(demand, OverlapTable{}, 16);
+    std::unordered_set<CoreId> used;
+    for (SfType t : table.types())
+        for (CoreId c : *table.coresFor(t))
+            used.insert(c);
+    EXPECT_EQ(used.size(), 16u);
+}
+
+TEST(AllocTable, LightTypesShareCores)
+{
+    // 10 light types on 4 cores: they must share.
+    std::vector<TypeLoad> demand;
+    for (int i = 0; i < 10; ++i)
+        demand.push_back({SfType::systemCall(i), 10.0});
+    const AllocTable table =
+        AllocTable::build(demand, OverlapTable{}, 4);
+    std::unordered_set<CoreId> used;
+    for (SfType t : table.types()) {
+        const auto *cores = table.coresFor(t);
+        ASSERT_NE(cores, nullptr);
+        EXPECT_EQ(cores->size(), 1u);
+        used.insert((*cores)[0]);
+    }
+    EXPECT_LE(used.size(), 4u);
+}
+
+TEST(AllocTable, SimilarLightTypesCoLocated)
+{
+    // The paper's Section 3.2 trio: read and pread overlap almost
+    // entirely, fork barely at all. With two shared cores, the
+    // overlap-aware packer must put read and pread together and
+    // leave fork on its own core.
+    SfCatalog cat;
+    const SfTypeInfo &read = cat.byName("sys_read");
+    const SfTypeInfo &pread = cat.byName("sys_pread");
+    const SfTypeInfo &fork = cat.byName("sys_fork");
+
+    StatsTable stats(512);
+    for (const SfTypeInfo *info : {&read, &pread, &fork}) {
+        stats.record(info->type, info, 100, 100,
+                     footprintHeatmap(*info));
+    }
+    const OverlapTable overlap = OverlapTable::fromHeatmaps(stats);
+
+    std::vector<TypeLoad> demand = {
+        {read.type, 100.0},
+        {pread.type, 100.0},
+        {fork.type, 100.0},
+    };
+    const AllocTable table = AllocTable::build(demand, overlap, 2);
+    EXPECT_EQ((*table.coresFor(read.type))[0],
+              (*table.coresFor(pread.type))[0]);
+    EXPECT_NE((*table.coresFor(fork.type))[0],
+              (*table.coresFor(read.type))[0]);
+}
+
+TEST(AllocTable, EmptyDemandYieldsEmptyTable)
+{
+    const AllocTable table =
+        AllocTable::build(std::vector<TypeLoad>{}, OverlapTable{}, 8);
+    EXPECT_TRUE(table.empty());
+}
+
+TEST(AllocTable, TypesOnCoreInverseMapping)
+{
+    AllocTable table;
+    table.set(SfType::systemCall(1), {0, 1});
+    table.set(SfType::systemCall(2), {1});
+    const auto on1 = table.typesOnCore(1);
+    EXPECT_EQ(on1.size(), 2u);
+    const auto on0 = table.typesOnCore(0);
+    ASSERT_EQ(on0.size(), 1u);
+    EXPECT_EQ(on0[0], SfType::systemCall(1));
+    EXPECT_TRUE(table.typesOnCore(5).empty());
+}
+
+TEST(AllocTable, SameShapeComparesCounts)
+{
+    AllocTable a, b;
+    a.set(SfType::systemCall(1), {0, 1});
+    a.set(SfType::systemCall(2), {2});
+    b.set(SfType::systemCall(1), {5, 7}); // identities differ
+    b.set(SfType::systemCall(2), {9});
+    EXPECT_TRUE(a.sameShape(b));
+    b.set(SfType::systemCall(2), {9, 10}); // count differs
+    EXPECT_FALSE(a.sameShape(b));
+    AllocTable c;
+    c.set(SfType::systemCall(1), {0, 1});
+    EXPECT_FALSE(a.sameShape(c)); // type set differs
+}
+
+class AllocCoreCount : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AllocCoreCount, AllocationNeverExceedsCores)
+{
+    std::vector<TypeLoad> demand;
+    for (int i = 0; i < 12; ++i)
+        demand.push_back(
+            {SfType::systemCall(i), 10.0 * (i + 1)});
+    const AllocTable table =
+        AllocTable::build(demand, OverlapTable{}, GetParam());
+    for (SfType t : table.types())
+        for (CoreId c : *table.coresFor(t))
+            EXPECT_LT(c, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, AllocCoreCount,
+                         ::testing::Values(1, 2, 8, 16, 32, 64));

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the benchmark suite: the 8 paper benchmarks exist with
+ * the right structural properties (threading model, transaction
+ * shape, shared binaries).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmarks.hh"
+
+using namespace schedtask;
+
+TEST(Benchmarks, AllEightPresent)
+{
+    BenchmarkSuite suite;
+    EXPECT_EQ(BenchmarkSuite::benchmarkNames().size(), 8u);
+    for (const std::string &name : BenchmarkSuite::benchmarkNames()) {
+        const BenchmarkProfile &p = suite.byName(name);
+        EXPECT_EQ(p.name, name);
+        EXPECT_NE(p.app, nullptr);
+        EXPECT_FALSE(p.transaction.empty());
+    }
+}
+
+TEST(Benchmarks, SingleThreadedTriplet)
+{
+    // Section 4.2: Find, Iscp and Oscp are single-threaded (one
+    // process per core); the rest are multi-threaded.
+    BenchmarkSuite suite;
+    EXPECT_TRUE(suite.byName("Find").singleThreadedPerCore());
+    EXPECT_TRUE(suite.byName("Iscp").singleThreadedPerCore());
+    EXPECT_TRUE(suite.byName("Oscp").singleThreadedPerCore());
+    EXPECT_FALSE(suite.byName("Apache").singleThreadedPerCore());
+    EXPECT_FALSE(suite.byName("DSS").singleThreadedPerCore());
+}
+
+TEST(Benchmarks, PaperThreadCounts)
+{
+    BenchmarkSuite suite;
+    EXPECT_EQ(suite.byName("Apache").threadsAt1X, 96u);
+    EXPECT_EQ(suite.byName("FileSrv").threadsAt1X, 400u);
+    EXPECT_EQ(suite.byName("MailSrvIO").threadsAt1X, 96u);
+    EXPECT_EQ(suite.byName("OLTP").threadsAt1X, 96u);
+}
+
+TEST(Benchmarks, ScpBenchmarksShareBinary)
+{
+    // Iscp and Oscp run the same scp executable: same application
+    // superFuncType (same physical code pages).
+    BenchmarkSuite suite;
+    EXPECT_EQ(suite.byName("Iscp").app->type,
+              suite.byName("Oscp").app->type);
+}
+
+TEST(Benchmarks, MysqlBenchmarksShareBinary)
+{
+    BenchmarkSuite suite;
+    EXPECT_EQ(suite.byName("DSS").app->type,
+              suite.byName("OLTP").app->type);
+}
+
+TEST(Benchmarks, DistinctServersUseDistinctBinaries)
+{
+    BenchmarkSuite suite;
+    EXPECT_NE(suite.byName("Apache").app->type,
+              suite.byName("DSS").app->type);
+    EXPECT_NE(suite.byName("Find").app->type,
+              suite.byName("Iscp").app->type);
+}
+
+TEST(Benchmarks, FileSrvHasPaperBottomHalves)
+{
+    // Section 6.4: FileSrv's bottom halves average ~24k instructions.
+    BenchmarkSuite suite;
+    const BenchmarkProfile &p = suite.byName("FileSrv");
+    bool found = false;
+    for (const TransactionPhase &phase : p.transaction) {
+        if (phase.hasSyscall() && phase.syscall.bottomHalf != nullptr)
+            found |= phase.syscall.bhMeanInsts == 24000;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Benchmarks, BlockingPhasesFullySpecified)
+{
+    BenchmarkSuite suite;
+    for (const std::string &name : BenchmarkSuite::benchmarkNames()) {
+        for (const TransactionPhase &phase :
+             suite.byName(name).transaction) {
+            if (!phase.hasSyscall())
+                continue;
+            const SyscallPhase &sc = phase.syscall;
+            if (sc.blockProb > 0.0) {
+                EXPECT_NE(sc.irqHandler, nullptr) << name;
+                EXPECT_GT(sc.meanDeviceCycles, 0u) << name;
+            }
+        }
+    }
+}
+
+TEST(Benchmarks, EveryBenchmarkHasTimerTicks)
+{
+    BenchmarkSuite suite;
+    for (const std::string &name : BenchmarkSuite::benchmarkNames()) {
+        const BenchmarkProfile &p = suite.byName(name);
+        bool timer = false;
+        for (const AmbientIrqSpec &spec : p.ambient)
+            timer |= spec.irq == SfCatalog::irqTimer;
+        EXPECT_TRUE(timer) << name;
+    }
+}
+
+TEST(Benchmarks, ApacheUsesMultiQueueNic)
+{
+    BenchmarkSuite suite;
+    const BenchmarkProfile &p = suite.byName("Apache");
+    unsigned rx_queues = 0;
+    for (const AmbientIrqSpec &spec : p.ambient) {
+        if (spec.irq >= SfCatalog::irqNetQueueBase
+                && spec.irq < SfCatalog::irqNetQueueBase
+                        + SfCatalog::numNetQueues) {
+            ++rx_queues;
+        }
+    }
+    EXPECT_EQ(rx_queues, SfCatalog::numNetQueues);
+}
+
+TEST(BenchmarksDeath, UnknownBenchmarkPanics)
+{
+    BenchmarkSuite suite;
+    EXPECT_DEATH(suite.byName("Quake"), "unknown benchmark");
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the common substrate: deterministic RNG and the
+ * statistical utilities the paper's methodology uses (cosine
+ * similarity, Kendall tau-b, Jain fairness, geometric means).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math_utils.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+using namespace schedtask;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.below(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 700); // each bucket near 1000
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.inRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, GeometricMeanApproximatesRequest)
+{
+    Rng rng(17);
+    const double target = 50.0;
+    double sum = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(target));
+    EXPECT_NEAR(sum / n, target, target * 0.05);
+}
+
+TEST(Rng, GeometricAtLeastOne)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.geometric(1.5), 1u);
+}
+
+TEST(Rng, TaskLengthMeanAndLowerDispersion)
+{
+    Rng rng(23);
+    const double target = 1000.0;
+    constexpr int n = 100000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = static_cast<double>(rng.taskLength(target));
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, target, target * 0.05);
+    // Coefficient of variation must be well below exponential (1.0).
+    EXPECT_LT(std::sqrt(var) / mean, 0.7);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(31);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(MathUtils, CosineIdenticalVectors)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_NEAR(cosineSimilarity(v, v), 1.0, 1e-12);
+}
+
+TEST(MathUtils, CosineOrthogonalVectors)
+{
+    EXPECT_NEAR(cosineSimilarity({1.0, 0.0}, {0.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(MathUtils, CosineOppositeVectors)
+{
+    EXPECT_NEAR(cosineSimilarity({1.0, 1.0}, {-1.0, -1.0}), -1.0,
+                1e-12);
+}
+
+TEST(MathUtils, CosineZeroVectorIsZero)
+{
+    EXPECT_EQ(cosineSimilarity({0.0, 0.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(MathUtils, KendallIdenticalRanking)
+{
+    const std::vector<double> a = {5, 4, 3, 2, 1};
+    EXPECT_NEAR(kendallTauB(a, a), 1.0, 1e-12);
+}
+
+TEST(MathUtils, KendallReversedRanking)
+{
+    const std::vector<double> a = {5, 4, 3, 2, 1};
+    const std::vector<double> b = {1, 2, 3, 4, 5};
+    EXPECT_NEAR(kendallTauB(a, b), -1.0, 1e-12);
+}
+
+TEST(MathUtils, KendallConstantListIsZero)
+{
+    EXPECT_EQ(kendallTauB({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(MathUtils, KendallPartialAgreement)
+{
+    // One swapped pair out of C(4,2)=6: tau = (5-1)/6.
+    const std::vector<double> a = {4, 3, 2, 1};
+    const std::vector<double> b = {4, 3, 1, 2};
+    EXPECT_NEAR(kendallTauB(a, b), 4.0 / 6.0, 1e-12);
+}
+
+TEST(MathUtils, JainFairnessEqualAllocations)
+{
+    EXPECT_NEAR(jainFairness({5, 5, 5, 5}), 1.0, 1e-12);
+}
+
+TEST(MathUtils, JainFairnessSingleHog)
+{
+    // One of n users gets everything: index = 1/n.
+    EXPECT_NEAR(jainFairness({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(MathUtils, GeometricMeanBasic)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(MathUtils, GeometricMeanPercentMatchesPaperConvention)
+{
+    // +10% and -10% combine to sqrt(1.1*0.9)-1 = -0.504%.
+    EXPECT_NEAR(geometricMeanPercent({10.0, -10.0}), -0.504, 0.01);
+}
+
+TEST(MathUtils, ArithmeticMeanEmptyIsZero)
+{
+    EXPECT_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(Types, AddressHelpers)
+{
+    const Addr addr = (5u << pageShift) | 0x7a5;
+    EXPECT_EQ(pageFrameOf(addr), 5u);
+    EXPECT_EQ(lineAddrOf(addr) % lineBytes, 0u);
+    EXPECT_EQ(lineNumOf(lineBytes * 9), 9u);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the coherence directory: sharer tracking, write
+ * invalidation, remote-dirty fills, and eviction cleanup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/directory.hh"
+
+using namespace schedtask;
+
+TEST(Directory, FirstReadHasNoRemoteEffects)
+{
+    CoherenceDirectory dir(4);
+    const auto out = dir.onRead(0, 0x1000);
+    EXPECT_FALSE(out.remoteDirtyFill);
+    EXPECT_EQ(out.invalidateMask, 0u);
+}
+
+TEST(Directory, WriteInvalidatesOtherSharers)
+{
+    CoherenceDirectory dir(4);
+    dir.onRead(0, 0x1000);
+    dir.onRead(1, 0x1000);
+    dir.onRead(2, 0x1000);
+    const auto out = dir.onWrite(3, 0x1000);
+    EXPECT_EQ(out.invalidateMask, 0b0111u);
+}
+
+TEST(Directory, WriteByExistingSharerExcludesSelf)
+{
+    CoherenceDirectory dir(4);
+    dir.onRead(0, 0x1000);
+    dir.onRead(1, 0x1000);
+    const auto out = dir.onWrite(1, 0x1000);
+    EXPECT_EQ(out.invalidateMask, 0b0001u);
+}
+
+TEST(Directory, ReadAfterRemoteWriteIsDirtyFill)
+{
+    CoherenceDirectory dir(4);
+    dir.onWrite(0, 0x2000);
+    const auto out = dir.onRead(1, 0x2000);
+    EXPECT_TRUE(out.remoteDirtyFill);
+}
+
+TEST(Directory, ReadByOwnerIsNotDirtyFill)
+{
+    CoherenceDirectory dir(4);
+    dir.onWrite(2, 0x2000);
+    const auto out = dir.onRead(2, 0x2000);
+    EXPECT_FALSE(out.remoteDirtyFill);
+}
+
+TEST(Directory, OwnershipMovesBetweenWriters)
+{
+    CoherenceDirectory dir(4);
+    dir.onWrite(0, 0x3000);
+    const auto w1 = dir.onWrite(1, 0x3000);
+    EXPECT_TRUE(w1.remoteDirtyFill);
+    EXPECT_EQ(w1.invalidateMask, 0b0001u);
+    const auto w0 = dir.onWrite(0, 0x3000);
+    EXPECT_TRUE(w0.remoteDirtyFill);
+    EXPECT_EQ(w0.invalidateMask, 0b0010u);
+}
+
+TEST(Directory, ReadDowngradesOwnerToSharer)
+{
+    CoherenceDirectory dir(4);
+    dir.onWrite(0, 0x4000);
+    dir.onRead(1, 0x4000); // M -> O; both now share
+    const auto out = dir.onRead(2, 0x4000);
+    EXPECT_FALSE(out.remoteDirtyFill); // already downgraded
+    const auto w = dir.onWrite(3, 0x4000);
+    EXPECT_EQ(w.invalidateMask, 0b0111u);
+}
+
+TEST(Directory, EvictRemovesSharer)
+{
+    CoherenceDirectory dir(4);
+    dir.onRead(0, 0x5000);
+    dir.onRead(1, 0x5000);
+    dir.onEvict(0, 0x5000);
+    const auto w = dir.onWrite(2, 0x5000);
+    EXPECT_EQ(w.invalidateMask, 0b0010u);
+}
+
+TEST(Directory, EntryGarbageCollectedWhenEmpty)
+{
+    CoherenceDirectory dir(2);
+    dir.onRead(0, 0x6000);
+    EXPECT_EQ(dir.trackedLines(), 1u);
+    dir.onEvict(0, 0x6000);
+    EXPECT_EQ(dir.trackedLines(), 0u);
+}
+
+TEST(Directory, EvictUnknownLineIsNoop)
+{
+    CoherenceDirectory dir(2);
+    dir.onEvict(1, 0xdead); // must not crash
+    EXPECT_EQ(dir.trackedLines(), 0u);
+}
+
+TEST(Directory, SupportsSixtyFourCores)
+{
+    CoherenceDirectory dir(64);
+    for (unsigned c = 0; c < 64; ++c)
+        dir.onRead(c, 0x7000);
+    const auto w = dir.onWrite(63, 0x7000);
+    EXPECT_EQ(w.invalidateMask, ~(std::uint64_t{1} << 63));
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace schedtask;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runDue(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, OnlyDueEventsFire)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(50, [&] { ++fired; });
+    q.runDue(20);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runDue(50);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(10, [&] { order.push_back(2); });
+    q.schedule(10, [&] { order.push_back(3); });
+    q.runDue(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] {
+        ++fired;
+        q.schedule(15, [&] { ++fired; });
+    });
+    q.runDue(20);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SelfRearmingChainDoesNotRunPastNow)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> rearm = [&] {
+        ++fired;
+        q.schedule(static_cast<Cycles>(fired + 1) * 10, rearm);
+    };
+    q.schedule(10, rearm);
+    q.runDue(35); // fires at 10, 20, 30; the 40 re-arm stays queued
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventCycle(), ~Cycles{0});
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextEventCycle(), 42u);
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { ++fired; });
+    q.clear();
+    q.runDue(100);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.pending(), 0u);
+}

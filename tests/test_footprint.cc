@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for footprints and the footprint walker: composition,
+ * page-overlap ground truth, checksums, and traversal locality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/random.hh"
+#include "workload/footprint.hh"
+#include "workload/region_map.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+struct FootprintFixture : ::testing::Test
+{
+    FootprintFixture()
+    {
+        region_a = &map.allocate("a", 8 * pageBytes);
+        region_b = &map.allocate("b", 8 * pageBytes);
+    }
+
+    RegionMap map;
+    const Region *region_a;
+    const Region *region_b;
+};
+
+} // namespace
+
+TEST_F(FootprintFixture, AddRegionCoversAllLines)
+{
+    Footprint fp;
+    fp.addRegion(*region_a);
+    EXPECT_EQ(fp.size(), region_a->lines());
+    EXPECT_EQ(fp.bytes(), region_a->bytes);
+}
+
+TEST_F(FootprintFixture, FractionTakesPrefix)
+{
+    Footprint fp;
+    fp.addRegionFraction(*region_a, 0.5);
+    EXPECT_EQ(fp.size(), region_a->lines() / 2);
+    // The first line is the region base's line on its scattered
+    // physical frame (page offset preserved).
+    EXPECT_EQ(fp.lines().front(), scatterAddr(region_a->base));
+    EXPECT_EQ(fp.lines().front() % pageBytes,
+              region_a->base % pageBytes);
+}
+
+TEST_F(FootprintFixture, FractionClamped)
+{
+    Footprint fp;
+    fp.addRegionFraction(*region_a, 2.0);
+    EXPECT_EQ(fp.size(), region_a->lines());
+    Footprint empty;
+    empty.addRegionFraction(*region_a, -1.0);
+    EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST_F(FootprintFixture, PageFramesDistinct)
+{
+    Footprint fp;
+    fp.addRegion(*region_a);
+    EXPECT_EQ(fp.pageFrames().size(), region_a->pages());
+}
+
+TEST_F(FootprintFixture, ScatteringIsBijectiveAndShared)
+{
+    // Two footprints over the same region land on identical frames;
+    // different regions never collide (bijection).
+    Footprint x, y, z;
+    x.addRegion(*region_a);
+    y.addRegion(*region_a);
+    z.addRegion(*region_b);
+    EXPECT_EQ(x.lines(), y.lines());
+    const auto fx = x.pageFrames();
+    for (Addr pf : z.pageFrames())
+        EXPECT_EQ(fx.count(pf), 0u);
+}
+
+TEST_F(FootprintFixture, ExactOverlapOfSharedRegion)
+{
+    // Two footprints sharing region A page-for-page: overlap = A's
+    // pages, regardless of the disjoint parts.
+    Footprint x, y;
+    x.addRegion(*region_a);
+    y.addRegion(*region_a);
+    y.addRegion(*region_b);
+    EXPECT_EQ(x.exactPageOverlap(y), region_a->pages());
+}
+
+TEST_F(FootprintFixture, ExactOverlapDisjointIsZero)
+{
+    Footprint x, y;
+    x.addRegion(*region_a);
+    y.addRegion(*region_b);
+    EXPECT_EQ(x.exactPageOverlap(y), 0u);
+}
+
+TEST_F(FootprintFixture, ChecksumEqualForSamePages)
+{
+    // The checksum keys application superFuncTypes: two processes
+    // mapping the same physical pages must agree.
+    Footprint x, y;
+    x.addRegion(*region_a);
+    y.addRegion(*region_a);
+    EXPECT_EQ(x.pageChecksum(), y.pageChecksum());
+    Footprint z;
+    z.addRegion(*region_b);
+    EXPECT_NE(x.pageChecksum(), z.pageChecksum());
+}
+
+TEST_F(FootprintFixture, WalkerStaysInsideFootprint)
+{
+    Footprint fp;
+    fp.addRegion(*region_a);
+    std::unordered_set<Addr> valid(fp.lines().begin(),
+                                   fp.lines().end());
+    FootprintWalker w;
+    w.reset(&fp, 0.1);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_TRUE(valid.count(w.nextLine(rng)));
+}
+
+TEST_F(FootprintFixture, WalkerIsMostlySequential)
+{
+    Footprint fp;
+    fp.addRegion(*region_a);
+    FootprintWalker w;
+    w.reset(&fp, /*jump_prob=*/0.0, 0, /*far_jump_prob=*/0.0);
+    Rng rng(5);
+    // Without jumps, the stream advances sequentially through the
+    // footprint order (page offsets advance by one line, modulo
+    // page-boundary hops onto the next scattered frame) apart from
+    // tight-loop repeats.
+    std::size_t idx = 0;
+    Addr prev = w.nextLine(rng);
+    for (int i = 0; i < 100; ++i) {
+        const Addr line = w.nextLine(rng);
+        if (line == prev)
+            continue; // tight-loop repeat
+        ++idx;
+        EXPECT_EQ(line, fp.lines()[idx % fp.size()]);
+        prev = line;
+    }
+}
+
+TEST_F(FootprintFixture, WalkerLocality)
+{
+    // The working set of a short run must be far smaller than the
+    // footprint: that is what gives handlers their i-cache
+    // locality.
+    Footprint fp;
+    fp.addRegion(*region_a);
+    fp.addRegion(*region_b);
+    FootprintWalker w;
+    w.reset(&fp, 0.08);
+    Rng rng(7);
+    std::unordered_set<Addr> touched;
+    for (int i = 0; i < 128; ++i)
+        touched.insert(w.nextLine(rng));
+    EXPECT_LT(touched.size(), 120u);
+    EXPECT_GT(touched.size(), 8u);
+}
+
+TEST_F(FootprintFixture, RewindRestartsAtEntry)
+{
+    Footprint fp;
+    fp.addRegion(*region_a);
+    FootprintWalker w;
+    w.reset(&fp, 0.0, 0, 0.0);
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        w.nextLine(rng);
+    w.rewind();
+    EXPECT_EQ(w.cursor(), 0u);
+}
+
+TEST_F(FootprintFixture, FarJumpExcursionReturns)
+{
+    Footprint fp;
+    fp.addRegion(*region_a);
+    fp.addRegion(*region_b);
+    FootprintWalker w;
+    // Force far jumps: every block starts an excursion, but the
+    // cursor must come back near the old position afterwards.
+    w.reset(&fp, 0.0, 0, /*far_jump_prob=*/1.0);
+    Rng rng(11);
+    w.nextLine(rng); // jumps away, remembers return point
+    // Drain the excursion (its length is geometric, mean 6).
+    std::uint64_t cursor_before_return = ~0ull;
+    for (int i = 0; i < 1000 && w.cursor() != 1; ++i) {
+        cursor_before_return = w.cursor();
+        (void)cursor_before_return;
+        w.nextLine(rng);
+        if (w.cursor() <= 2)
+            break;
+    }
+    // The walker eventually returns to the entry neighbourhood.
+    EXPECT_LE(w.cursor(), fp.size());
+}
+
+TEST(FootprintWalkerDeath, UnresetWalkerPanics)
+{
+    FootprintWalker w;
+    Rng rng(1);
+    EXPECT_DEATH(w.nextLine(rng), "walker not reset");
+}

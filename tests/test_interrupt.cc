@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for the interrupt controller routing table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/interrupt.hh"
+
+using namespace schedtask;
+
+TEST(InterruptController, UnprogrammedVectorHasNoRoute)
+{
+    InterruptController ctrl(4);
+    EXPECT_EQ(ctrl.routeOf(14), invalidCore);
+}
+
+TEST(InterruptController, ProgrammedRouteReturned)
+{
+    InterruptController ctrl(4);
+    ctrl.programRoute(14, 2);
+    EXPECT_EQ(ctrl.routeOf(14), 2u);
+}
+
+TEST(InterruptController, ReprogrammingOverwrites)
+{
+    InterruptController ctrl(4);
+    ctrl.programRoute(14, 2);
+    ctrl.programRoute(14, 3);
+    EXPECT_EQ(ctrl.routeOf(14), 3u);
+}
+
+TEST(InterruptController, ClearRoutesResets)
+{
+    InterruptController ctrl(4);
+    ctrl.programRoute(1, 1);
+    ctrl.programRoute(2, 2);
+    ctrl.clearRoutes();
+    EXPECT_EQ(ctrl.routeOf(1), invalidCore);
+    EXPECT_EQ(ctrl.routeOf(2), invalidCore);
+}
+
+TEST(InterruptController, DeliveryCounting)
+{
+    InterruptController ctrl(2);
+    EXPECT_EQ(ctrl.delivered(), 0u);
+    ctrl.noteDelivered();
+    ctrl.noteDelivered();
+    EXPECT_EQ(ctrl.delivered(), 2u);
+}
+
+TEST(InterruptControllerDeath, RouteToInvalidCorePanics)
+{
+    InterruptController ctrl(4);
+    EXPECT_DEATH(ctrl.programRoute(1, 9), "invalid core");
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the overlap table (Section 5.2): ranking by Hamming
+ * weight of ANDed heatmaps, the app/OS separation rule, merged
+ * peer lists, and agreement with exact footprint overlap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/overlap_table.hh"
+#include "workload/sf_catalog.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+/** Stats table over the real catalog with footprint heatmaps. */
+StatsTable
+catalogStats(const SfCatalog &cat,
+             std::initializer_list<const char *> names)
+{
+    StatsTable stats(512);
+    for (const char *name : names) {
+        const SfTypeInfo &info = cat.byName(name);
+        PageHeatmap hm(512);
+        for (Addr line : info.code.lines())
+            hm.insertAddr(line);
+        stats.record(info.type, &info, 1000, 1000, hm);
+    }
+    return stats;
+}
+
+} // namespace
+
+TEST(OverlapTable, ReadRanksPreadFirst)
+{
+    // The Section 3.2 scenario: read, pread and fork coexist; read
+    // and pread must be deemed most similar.
+    SfCatalog cat;
+    const StatsTable stats =
+        catalogStats(cat, {"sys_read", "sys_pread", "sys_fork"});
+    const OverlapTable table = OverlapTable::fromHeatmaps(stats);
+
+    const auto &peers = table.peersOf(cat.byName("sys_read").type);
+    ASSERT_EQ(peers.size(), 2u);
+    EXPECT_EQ(peers[0].type, cat.byName("sys_pread").type);
+    EXPECT_EQ(peers[1].type, cat.byName("sys_fork").type);
+    EXPECT_GT(peers[0].overlap, peers[1].overlap);
+}
+
+TEST(OverlapTable, AppAndOsNeverCompared)
+{
+    SfCatalog cat;
+    const SfTypeInfo &app = cat.addApplication("appX", 64 * 1024);
+    StatsTable stats = catalogStats(cat, {"sys_read", "sys_pread"});
+    PageHeatmap hm(512);
+    for (Addr line : app.code.lines())
+        hm.insertAddr(line);
+    stats.record(app.type, &app, 1000, 1000, hm);
+
+    const OverlapTable table = OverlapTable::fromHeatmaps(stats);
+    // The app's peer list contains no OS types and vice versa.
+    EXPECT_TRUE(table.peersOf(app.type).empty());
+    for (const OverlapPeer &peer :
+         table.peersOf(cat.byName("sys_read").type)) {
+        EXPECT_TRUE(peer.type.isOs());
+    }
+}
+
+TEST(OverlapTable, ExactModeAgreesOnTopPeer)
+{
+    SfCatalog cat;
+    const StatsTable stats = catalogStats(
+        cat, {"sys_read", "sys_pread", "sys_fork", "sys_recv"});
+    const OverlapTable bloom = OverlapTable::fromHeatmaps(stats);
+    const OverlapTable exact = OverlapTable::fromExactFootprints(stats);
+    const SfType read = cat.byName("sys_read").type;
+    EXPECT_EQ(bloom.peersOf(read)[0].type,
+              exact.peersOf(read)[0].type);
+}
+
+TEST(OverlapTable, OverlapBetweenSymmetry)
+{
+    SfCatalog cat;
+    const StatsTable stats =
+        catalogStats(cat, {"sys_read", "sys_write"});
+    const OverlapTable table = OverlapTable::fromHeatmaps(stats);
+    const SfType r = cat.byName("sys_read").type;
+    const SfType w = cat.byName("sys_write").type;
+    EXPECT_EQ(table.overlapBetween(r, w), table.overlapBetween(w, r));
+    EXPECT_GT(table.overlapBetween(r, w), 0u);
+}
+
+TEST(OverlapTable, UnknownTypeHasEmptyPeers)
+{
+    OverlapTable table;
+    EXPECT_TRUE(table.peersOf(SfType::systemCall(42)).empty());
+    EXPECT_EQ(table.overlapBetween(SfType::systemCall(1),
+                                   SfType::systemCall(2)),
+              0u);
+}
+
+TEST(OverlapTable, MergedPeersExcludesLocalTypes)
+{
+    SfCatalog cat;
+    const StatsTable stats = catalogStats(
+        cat, {"sys_read", "sys_pread", "sys_fork", "sys_recv"});
+    const OverlapTable table = OverlapTable::fromHeatmaps(stats);
+
+    const std::vector<SfType> local = {cat.byName("sys_read").type,
+                                       cat.byName("sys_pread").type};
+    const auto merged = table.mergedPeers(local);
+    for (const OverlapPeer &peer : merged) {
+        EXPECT_NE(peer.type, local[0]);
+        EXPECT_NE(peer.type, local[1]);
+    }
+    // Sorted by decreasing overlap.
+    for (std::size_t i = 1; i < merged.size(); ++i)
+        EXPECT_GE(merged[i - 1].overlap, merged[i].overlap);
+}
+
+TEST(OverlapTable, MergedPeersTakesBestOverlap)
+{
+    SfCatalog cat;
+    const StatsTable stats = catalogStats(
+        cat, {"sys_read", "sys_pread", "sys_open", "sys_recv"});
+    const OverlapTable table = OverlapTable::fromHeatmaps(stats);
+    const SfType read = cat.byName("sys_read").type;
+    const SfType pread = cat.byName("sys_pread").type;
+    const SfType open = cat.byName("sys_open").type;
+
+    const auto merged = table.mergedPeers({read});
+    // open's merged overlap equals its direct overlap with read.
+    for (const OverlapPeer &peer : merged) {
+        if (peer.type == open) {
+            EXPECT_EQ(peer.overlap, table.overlapBetween(read, open));
+        }
+        (void)pread;
+    }
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the instruction prefetchers (next-line and call-graph).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/prefetcher.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+/** Records installed lines instead of touching a real hierarchy. */
+class RecordingSink : public PrefetchSink
+{
+  public:
+    void
+    installInstLine(CoreId core, Addr line_addr) override
+    {
+        installs.emplace_back(core, line_addr);
+    }
+
+    std::vector<std::pair<CoreId, Addr>> installs;
+};
+
+} // namespace
+
+TEST(NextLinePrefetcher, PrefetchesOnMissOnly)
+{
+    NextLinePrefetcher pf(2);
+    RecordingSink sink;
+    pf.onFetch(0, 0x1000, /*hit=*/true, sink);
+    EXPECT_TRUE(sink.installs.empty());
+    pf.onFetch(0, 0x1000, /*hit=*/false, sink);
+    ASSERT_EQ(sink.installs.size(), 2u);
+    EXPECT_EQ(sink.installs[0].second, 0x1000 + lineBytes);
+    EXPECT_EQ(sink.installs[1].second, 0x1000 + 2 * lineBytes);
+    EXPECT_EQ(pf.issued(), 2u);
+}
+
+TEST(CallGraphPrefetcher, LearnsEntryLinesAndReplays)
+{
+    CallGraphPrefetcher pf(2, /*record_limit=*/4,
+                           /*next_line_degree=*/0);
+    RecordingSink sink;
+
+    // First execution of task 7: the missing lines are recorded,
+    // none replayed yet. Hits are NOT recorded (re-installing them
+    // would be pure pollution).
+    pf.onTaskStart(0, 7, sink);
+    EXPECT_TRUE(sink.installs.empty());
+    pf.onFetch(0, 0x1000, false, sink);
+    pf.onFetch(0, 0x1040, false, sink);
+    pf.onFetch(0, 0x1080, false, sink);
+    EXPECT_EQ(pf.learnedEntries(), 1u);
+
+    // Second start of task 7: the learned lines are prefetched.
+    pf.onTaskStart(0, 7, sink);
+    ASSERT_EQ(sink.installs.size(), 3u);
+    EXPECT_EQ(sink.installs[0].second, 0x1000u);
+    EXPECT_EQ(sink.installs[2].second, 0x1080u);
+}
+
+TEST(CallGraphPrefetcher, RecordLimitCapsLearning)
+{
+    CallGraphPrefetcher pf(1, /*record_limit=*/2, 0);
+    RecordingSink sink;
+    pf.onTaskStart(0, 9, sink);
+    pf.onFetch(0, 0x1000, false, sink);
+    pf.onFetch(0, 0x1040, false, sink);
+    pf.onFetch(0, 0x1080, false, sink); // beyond limit: not recorded
+    pf.onTaskStart(0, 9, sink);
+    EXPECT_EQ(sink.installs.size(), 2u);
+}
+
+TEST(CallGraphPrefetcher, DistinctTasksLearnSeparately)
+{
+    CallGraphPrefetcher pf(1, 8, 0);
+    RecordingSink sink;
+    pf.onTaskStart(0, 1, sink);
+    pf.onFetch(0, 0xa000, false, sink);
+    pf.onTaskStart(0, 2, sink);
+    pf.onFetch(0, 0xb000, false, sink);
+    EXPECT_EQ(pf.learnedEntries(), 2u);
+
+    sink.installs.clear();
+    pf.onTaskStart(0, 1, sink);
+    ASSERT_EQ(sink.installs.size(), 1u);
+    EXPECT_EQ(sink.installs[0].second, 0xa000u);
+}
+
+TEST(CallGraphPrefetcher, DuplicateLinesRecordedOnce)
+{
+    CallGraphPrefetcher pf(1, 8, 0);
+    RecordingSink sink;
+    pf.onTaskStart(0, 3, sink);
+    pf.onFetch(0, 0xc000, false, sink);
+    pf.onFetch(0, 0xc000, false, sink);
+    pf.onTaskStart(0, 3, sink);
+    EXPECT_EQ(sink.installs.size(), 1u);
+}
+
+TEST(CallGraphPrefetcher, FallsBackToNextLineOnMiss)
+{
+    CallGraphPrefetcher pf(1, 4, /*next_line_degree=*/1);
+    RecordingSink sink;
+    pf.onFetch(0, 0x2000, /*hit=*/false, sink);
+    ASSERT_EQ(sink.installs.size(), 1u);
+    EXPECT_EQ(sink.installs[0].second, 0x2000 + lineBytes);
+}
+
+TEST(CallGraphPrefetcher, PerCoreRecordingState)
+{
+    CallGraphPrefetcher pf(2, 4, 0);
+    RecordingSink sink;
+    pf.onTaskStart(0, 5, sink);
+    pf.onTaskStart(1, 6, sink);
+    pf.onFetch(0, 0xd000, false, sink); // task 5 on core 0
+    pf.onFetch(1, 0xe000, false, sink); // task 6 on core 1
+    sink.installs.clear();
+    pf.onTaskStart(0, 6, sink); // task 6 learned line from core 1
+    ASSERT_EQ(sink.installs.size(), 1u);
+    EXPECT_EQ(sink.installs[0].second, 0xe000u);
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the physical region allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/region_map.hh"
+
+using namespace schedtask;
+
+TEST(RegionMap, AllocationsArePageAlignedAndDisjoint)
+{
+    RegionMap map;
+    const Region &a = map.allocate("a", 1000); // rounds to 4096
+    const Region &b = map.allocate("b", 4096);
+    EXPECT_EQ(a.base % pageBytes, 0u);
+    EXPECT_EQ(a.bytes, pageBytes);
+    EXPECT_GE(b.base, a.base + a.bytes);
+}
+
+TEST(RegionMap, FindReturnsSameRegion)
+{
+    RegionMap map;
+    const Region &a = map.allocate("vfs", 8192);
+    const Region &found = map.find("vfs");
+    EXPECT_EQ(found.base, a.base);
+    EXPECT_EQ(found.bytes, a.bytes);
+}
+
+TEST(RegionMap, HasDetectsExistence)
+{
+    RegionMap map;
+    EXPECT_FALSE(map.has("x"));
+    map.allocate("x", 1);
+    EXPECT_TRUE(map.has("x"));
+}
+
+TEST(RegionMap, DeterministicLayout)
+{
+    RegionMap m1, m2;
+    m1.allocate("a", 5000);
+    m1.allocate("b", 3000);
+    m2.allocate("a", 5000);
+    m2.allocate("b", 3000);
+    EXPECT_EQ(m1.find("b").base, m2.find("b").base);
+}
+
+TEST(RegionMap, LineAndPageCounts)
+{
+    RegionMap map;
+    const Region &r = map.allocate("r", 2 * pageBytes);
+    EXPECT_EQ(r.pages(), 2u);
+    EXPECT_EQ(r.lines(), 2 * pageBytes / lineBytes);
+    EXPECT_EQ(r.lineAddr(1), r.base + lineBytes);
+}
+
+TEST(RegionMap, TotalBytesAccumulates)
+{
+    RegionMap map;
+    map.allocate("a", pageBytes);
+    map.allocate("b", pageBytes);
+    EXPECT_EQ(map.totalBytes(), 2 * pageBytes);
+}
+
+TEST(RegionMapDeath, DuplicateNamePanics)
+{
+    RegionMap map;
+    map.allocate("dup", 1);
+    EXPECT_DEATH(map.allocate("dup", 1), "duplicate");
+}
+
+TEST(RegionMapDeath, UnknownNamePanics)
+{
+    RegionMap map;
+    EXPECT_DEATH(map.find("missing"), "unknown region");
+}

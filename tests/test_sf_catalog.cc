@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the SF catalog: kernel layout, type registration, the
+ * overlap structure between handler footprints, and application
+ * binary sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/sf_catalog.hh"
+
+using namespace schedtask;
+
+TEST(SfCatalog, StandardKernelTypesExist)
+{
+    SfCatalog cat;
+    EXPECT_EQ(cat.byName("sys_read").type, SfType::systemCall(3));
+    EXPECT_EQ(cat.byName("sys_pread").type, SfType::systemCall(180));
+    EXPECT_EQ(cat.byName("irq_disk").type,
+              SfType::interrupt(SfCatalog::irqDisk));
+    EXPECT_EQ(cat.byName("bh_net_rx").category,
+              SfCategory::BottomHalf);
+}
+
+TEST(SfCatalog, ReadAndPreadOverlapHeavily)
+{
+    // The paper's Section 3.2 example: read and pread mostly
+    // execute the same instructions.
+    SfCatalog cat;
+    const Footprint &read = cat.byName("sys_read").code;
+    const Footprint &pread = cat.byName("sys_pread").code;
+    const Footprint &fork = cat.byName("sys_fork").code;
+    const std::size_t rp = read.exactPageOverlap(pread);
+    const std::size_t rf = read.exactPageOverlap(fork);
+    EXPECT_GT(rp, 3 * rf); // far more overlap with pread than fork
+    EXPECT_GT(static_cast<double>(rp), 0.8 * read.pageFrames().size());
+}
+
+TEST(SfCatalog, NetAndFsHandlersBarelyOverlap)
+{
+    SfCatalog cat;
+    const Footprint &read = cat.byName("sys_read").code;
+    const Footprint &recv = cat.byName("sys_recv").code;
+    // Only the kernel entry stubs are common.
+    const std::size_t kentry_pages =
+        cat.regions().find("kentry").bytes / pageBytes;
+    EXPECT_LE(read.exactPageOverlap(recv), kentry_pages + 1);
+}
+
+TEST(SfCatalog, SameBinaryYieldsSameApplicationType)
+{
+    SfCatalog cat;
+    const SfTypeInfo &a = cat.addApplication("scp", 64 * 1024);
+    const SfTypeInfo &b = cat.addApplication("scp", 64 * 1024);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.type, b.type);
+}
+
+TEST(SfCatalog, DifferentBinariesYieldDifferentTypes)
+{
+    SfCatalog cat;
+    const SfTypeInfo &a = cat.addApplication("aa", 64 * 1024);
+    const SfTypeInfo &b = cat.addApplication("bb", 64 * 1024);
+    EXPECT_NE(a.type, b.type);
+    EXPECT_EQ(a.type.category(), SfCategory::Application);
+}
+
+TEST(SfCatalog, ApplicationsShareLibc)
+{
+    SfCatalog cat;
+    const SfTypeInfo &a = cat.addApplication("appA", 64 * 1024, 1.0);
+    const SfTypeInfo &b = cat.addApplication("appB", 64 * 1024, 1.0);
+    const std::size_t libc_pages =
+        cat.regions().find("libc").bytes / pageBytes;
+    EXPECT_EQ(a.code.exactPageOverlap(b.code), libc_pages);
+}
+
+TEST(SfCatalog, SyscallSubsystemsTagged)
+{
+    SfCatalog cat;
+    EXPECT_EQ(cat.byName("sys_read").subsystem, "fs");
+    EXPECT_EQ(cat.byName("sys_recv").subsystem, "net");
+    EXPECT_EQ(cat.byName("sys_fork").subsystem, "proc");
+    EXPECT_EQ(cat.byName("sys_mmap").subsystem, "mm");
+}
+
+TEST(SfCatalog, SharedDataRegionsAllocated)
+{
+    SfCatalog cat;
+    const SfTypeInfo &read = cat.byName("sys_read");
+    EXPECT_GT(read.sharedDataBytes, 0u);
+    EXPECT_GT(read.sharedDataBase, 0u);
+}
+
+TEST(SfCatalog, SchedulerCodeAvailable)
+{
+    SfCatalog cat;
+    EXPECT_GT(cat.schedulerCode().code.size(), 0u);
+    EXPECT_EQ(cat.schedulerCode().name, "sched_code");
+}
+
+TEST(SfCatalog, MultiQueueVectorsShareDriverFootprint)
+{
+    SfCatalog cat;
+    const Footprint &q0 = cat.byName("irq_net_q0").code;
+    const Footprint &q1 = cat.byName("irq_net_q1").code;
+    // Identical driver code: full page overlap.
+    EXPECT_EQ(q0.exactPageOverlap(q1), q0.pageFrames().size());
+    EXPECT_NE(cat.byName("irq_net_q0").type,
+              cat.byName("irq_net_q1").type);
+}
+
+TEST(SfCatalog, BySfTypeLookup)
+{
+    SfCatalog cat;
+    const SfTypeInfo *info = cat.bySfType(SfType::systemCall(3));
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->name, "sys_read");
+    EXPECT_EQ(cat.bySfType(SfType::systemCall(9999)), nullptr);
+}
+
+TEST(SfCatalogDeath, UnknownNamePanics)
+{
+    SfCatalog cat;
+    EXPECT_DEATH(cat.byName("sys_nope"), "unknown SfTypeInfo");
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the SuperFunction tracer: ring-buffer semantics and
+ * end-to-end recording through a Machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/linux_sched.hh"
+#include "sim/machine.hh"
+#include "sim/sf_trace.hh"
+#include "workload/benchmarks.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+SfEvent
+event(Cycles when, SfEventKind kind)
+{
+    SfEvent e;
+    e.when = when;
+    e.kind = kind;
+    return e;
+}
+
+} // namespace
+
+TEST(SfTracer, KeepsEventsInOrder)
+{
+    SfTracer tracer(8);
+    tracer.record(event(1, SfEventKind::Dispatch));
+    tracer.record(event(2, SfEventKind::Block));
+    tracer.record(event(3, SfEventKind::Wakeup));
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].when, 1u);
+    EXPECT_EQ(events[2].kind, SfEventKind::Wakeup);
+}
+
+TEST(SfTracer, RingDropsOldest)
+{
+    SfTracer tracer(4);
+    for (Cycles t = 0; t < 10; ++t)
+        tracer.record(event(t, SfEventKind::Dispatch));
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().when, 6u);
+    EXPECT_EQ(events.back().when, 9u);
+    EXPECT_EQ(tracer.totalRecorded(), 10u);
+}
+
+TEST(SfTracer, ClearEmpties)
+{
+    SfTracer tracer(4);
+    tracer.record(event(1, SfEventKind::Dispatch));
+    tracer.clear();
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(SfTracer, KindNames)
+{
+    EXPECT_STREQ(sfEventKindName(SfEventKind::Dispatch), "dispatch");
+    EXPECT_STREQ(sfEventKindName(SfEventKind::Migrate), "migrate");
+    EXPECT_STREQ(sfEventKindName(SfEventKind::Pause), "pause");
+}
+
+TEST(SfTracer, MachineRecordsLifecycle)
+{
+    BenchmarkSuite suite;
+    Workload workload = Workload::buildSingle(suite, "Apache", 1.0, 8);
+    MachineParams mp;
+    mp.numCores = 8;
+    mp.epochCycles = 50000;
+    LinuxScheduler sched;
+    Machine m(mp, HierarchyParams::paperDefault(), suite, workload,
+              sched);
+    SfTracer tracer(1 << 16);
+    m.attachTracer(&tracer);
+    m.run(8 * mp.epochCycles);
+
+    bool saw_dispatch = false, saw_block = false, saw_wakeup = false;
+    bool saw_complete = false, saw_pause = false;
+    for (const SfEvent &e : tracer.events()) {
+        switch (e.kind) {
+          case SfEventKind::Dispatch:
+            saw_dispatch = true;
+            break;
+          case SfEventKind::Block:
+            saw_block = true;
+            break;
+          case SfEventKind::Wakeup:
+            saw_wakeup = true;
+            break;
+          case SfEventKind::Complete:
+            saw_complete = true;
+            break;
+          case SfEventKind::Pause:
+            saw_pause = true;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_dispatch);
+    EXPECT_TRUE(saw_block);
+    EXPECT_TRUE(saw_wakeup);
+    EXPECT_TRUE(saw_complete);
+    EXPECT_TRUE(saw_pause);
+    EXPECT_GT(tracer.totalRecorded(), 100u);
+}
+
+TEST(SfTracer, RenderFiltersByThread)
+{
+    SfTracer tracer(16);
+    SfEvent a = event(5, SfEventKind::Dispatch);
+    a.tid = 1;
+    a.typeName = "sys_read";
+    SfEvent b = event(6, SfEventKind::Dispatch);
+    b.tid = 2;
+    b.typeName = "sys_write";
+    tracer.record(a);
+    tracer.record(b);
+    const std::string only1 = tracer.render(1);
+    EXPECT_NE(only1.find("sys_read"), std::string::npos);
+    EXPECT_EQ(only1.find("sys_write"), std::string::npos);
+    const std::string all = tracer.render();
+    EXPECT_NE(all.find("sys_write"), std::string::npos);
+}
+
+TEST(SfTracer, DetachedMachineDoesNotCrash)
+{
+    BenchmarkSuite suite;
+    Workload workload = Workload::buildSingle(suite, "Find", 1.0, 2);
+    MachineParams mp;
+    mp.numCores = 2;
+    mp.epochCycles = 20000;
+    LinuxScheduler sched;
+    Machine m(mp, HierarchyParams::paperDefault(), suite, workload,
+              sched);
+    m.run(mp.epochCycles); // no tracer attached
+    SUCCEED();
+}

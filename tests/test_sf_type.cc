@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the superFuncType encoding (Table 1 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/sf_type.hh"
+
+using namespace schedtask;
+
+TEST(SfType, CategoryEncoding)
+{
+    EXPECT_EQ(SfType::systemCall(3).category(),
+              SfCategory::SystemCall);
+    EXPECT_EQ(SfType::interrupt(1).category(), SfCategory::Interrupt);
+    EXPECT_EQ(SfType::bottomHalf(0xabc).category(),
+              SfCategory::BottomHalf);
+    EXPECT_EQ(SfType::application(0x123).category(),
+              SfCategory::Application);
+}
+
+TEST(SfType, SubcategoryPreserved)
+{
+    EXPECT_EQ(SfType::systemCall(3).subcategory(), 3u);
+    EXPECT_EQ(SfType::interrupt(14).subcategory(), 14u);
+    EXPECT_EQ(SfType::bottomHalf(0xdeadbeef).subcategory(),
+              0xdeadbeefu);
+}
+
+TEST(SfType, PaperExampleKeyboardInterrupt)
+{
+    // Section 3.1: the keyboard interrupt (ID 1) encodes to
+    // 0x4000000000000001 — category 1 in the top 2 bits.
+    EXPECT_EQ(SfType::interrupt(1).raw(), 0x4000000000000001ull);
+}
+
+TEST(SfType, PaperExampleReadSyscall)
+{
+    // Section 3.1: the read handler (syscall ID 3 on Linux 2.6)
+    // has superFuncType 3.
+    EXPECT_EQ(SfType::systemCall(3).raw(), 3u);
+}
+
+TEST(SfType, ApplicationChecksumTruncatedTo62Bits)
+{
+    const SfType t = SfType::application(~0ull);
+    EXPECT_EQ(t.category(), SfCategory::Application);
+    EXPECT_EQ(t.subcategory(), (std::uint64_t{1} << 62) - 1);
+}
+
+TEST(SfType, IsOsForAllButApplication)
+{
+    EXPECT_TRUE(SfType::systemCall(1).isOs());
+    EXPECT_TRUE(SfType::interrupt(1).isOs());
+    EXPECT_TRUE(SfType::bottomHalf(1).isOs());
+    EXPECT_FALSE(SfType::application(1).isOs());
+}
+
+TEST(SfType, DistinctCategoriesNeverCollide)
+{
+    std::unordered_set<SfType> all;
+    all.insert(SfType::systemCall(5));
+    all.insert(SfType::interrupt(5));
+    all.insert(SfType::bottomHalf(5));
+    all.insert(SfType::application(5));
+    EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(SfType, RoundTripThroughRaw)
+{
+    const SfType t = SfType::bottomHalf(0x1234567);
+    EXPECT_EQ(SfType::fromRaw(t.raw()), t);
+}
+
+TEST(SfType, OrderingAndEquality)
+{
+    EXPECT_LT(SfType::systemCall(1), SfType::systemCall(2));
+    EXPECT_EQ(SfType::systemCall(1), SfType::systemCall(1));
+    EXPECT_NE(SfType::systemCall(1), SfType::interrupt(1));
+}
+
+TEST(SfType, CategoryNames)
+{
+    EXPECT_STREQ(sfCategoryName(SfCategory::SystemCall), "syscall");
+    EXPECT_STREQ(sfCategoryName(SfCategory::Application),
+                 "application");
+}
+
+TEST(SfTypeDeath, OversizedSubcategoryPanics)
+{
+    EXPECT_DEATH(SfType::systemCall(std::uint64_t{1} << 62),
+                 "subcategory");
+}

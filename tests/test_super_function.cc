@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the SuperFunction structure and the distributed
+ * superFuncID allocator (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/super_function.hh"
+
+using namespace schedtask;
+
+TEST(SfIdAllocator, RangesAreDisjointAndOrdered)
+{
+    SfIdAllocator alloc(4);
+    for (unsigned c = 0; c + 1 < 4; ++c)
+        EXPECT_LT(alloc.rangeStart(c), alloc.rangeStart(c + 1));
+    // Core i's range ends where core i+1's begins.
+    for (unsigned c = 0; c + 1 < 4; ++c)
+        EXPECT_EQ(alloc.rangeEnd(c), alloc.rangeStart(c + 1));
+}
+
+TEST(SfIdAllocator, PaperFormulaForRangeStart)
+{
+    // Section 3.3: core i starts at 2^64 * i / n.
+    SfIdAllocator alloc(4);
+    EXPECT_EQ(alloc.rangeStart(0), 0u);
+    EXPECT_EQ(alloc.rangeStart(1), std::uint64_t{1} << 62);
+    EXPECT_EQ(alloc.rangeStart(2), std::uint64_t{1} << 63);
+}
+
+TEST(SfIdAllocator, SequentialWithinCore)
+{
+    SfIdAllocator alloc(4);
+    const std::uint64_t first = alloc.next(2);
+    EXPECT_EQ(alloc.next(2), first + 1);
+    EXPECT_EQ(alloc.next(2), first + 2);
+}
+
+TEST(SfIdAllocator, DifferentCoresNeverCollide)
+{
+    SfIdAllocator alloc(8);
+    std::uint64_t ids[8];
+    for (unsigned c = 0; c < 8; ++c)
+        ids[c] = alloc.next(c);
+    for (unsigned a = 0; a < 8; ++a)
+        for (unsigned b = a + 1; b < 8; ++b)
+            EXPECT_NE(ids[a], ids[b]);
+}
+
+TEST(SfIdAllocator, SingleCoreOwnsWholeSpace)
+{
+    SfIdAllocator alloc(1);
+    EXPECT_EQ(alloc.rangeStart(0), 0u);
+    EXPECT_EQ(alloc.next(0), 0u);
+    EXPECT_EQ(alloc.next(0), 1u);
+}
+
+TEST(SfIdAllocator, ThirtyTwoCoresPaperConfig)
+{
+    SfIdAllocator alloc(32);
+    for (unsigned c = 0; c < 32; ++c) {
+        const std::uint64_t id = alloc.next(c);
+        EXPECT_GE(id, alloc.rangeStart(c));
+        if (c + 1 < 32) {
+            EXPECT_LT(id, alloc.rangeStart(c + 1));
+        }
+    }
+}
+
+TEST(SuperFunction, ResetClearsEverything)
+{
+    SuperFunction sf;
+    sf.type = SfType::systemCall(3);
+    sf.id = 99;
+    sf.tid = 7;
+    sf.instsTarget = 1000;
+    sf.instsDone = 500;
+    sf.blockAtInsts = 600;
+    sf.state = SfState::Waiting;
+    sf.pendingBhInsts = 10;
+    sf.reset();
+    EXPECT_EQ(sf.type.raw(), 0u);
+    EXPECT_EQ(sf.id, 0u);
+    EXPECT_EQ(sf.tid, invalidThread);
+    EXPECT_EQ(sf.instsTarget, 0u);
+    EXPECT_EQ(sf.instsDone, 0u);
+    EXPECT_EQ(sf.blockAtInsts, 0u);
+    EXPECT_EQ(sf.state, SfState::Runnable);
+    EXPECT_EQ(sf.pendingBh, nullptr);
+    EXPECT_EQ(sf.parent, nullptr);
+}
+
+TEST(SuperFunction, InstsRemainingSaturates)
+{
+    SuperFunction sf;
+    sf.instsTarget = 100;
+    sf.instsDone = 40;
+    EXPECT_EQ(sf.instsRemaining(), 60u);
+    sf.instsDone = 150;
+    EXPECT_EQ(sf.instsRemaining(), 0u);
+}

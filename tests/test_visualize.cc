@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the text visualizations (utilization bars, allocation
+ * view) and the JSON stats export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/schedtask_sched.hh"
+#include "harness/visualize.hh"
+#include "sim/machine.hh"
+#include "stats/stat_set.hh"
+#include "workload/benchmarks.hh"
+
+using namespace schedtask;
+
+TEST(Visualize, UtilizationBarsShape)
+{
+    SimMetrics m;
+    m.cycles = 1000;
+    m.perCoreIdleCycles = {0, 500, 1000, 250};
+    const std::string bars = utilizationBars(m, 4, 10);
+    // One line per core; busy fractions 100/50/0/75.
+    EXPECT_NE(bars.find("core 00 [##########] 100%"),
+              std::string::npos);
+    EXPECT_NE(bars.find("core 01 [#####.....]  50%"),
+              std::string::npos);
+    EXPECT_NE(bars.find("core 02 [..........]   0%"),
+              std::string::npos);
+    EXPECT_NE(bars.find("core 03"), std::string::npos);
+}
+
+TEST(Visualize, UtilizationBarsFromRealRun)
+{
+    BenchmarkSuite suite;
+    Workload workload = Workload::buildSingle(suite, "Find", 1.0, 4);
+    MachineParams mp;
+    mp.numCores = 4;
+    mp.epochCycles = 40000;
+    SchedTaskScheduler sched;
+    Machine m(mp, HierarchyParams::paperDefault(), suite, workload,
+              sched);
+    m.run(4 * mp.epochCycles);
+    const std::string bars =
+        utilizationBars(m.metricsSnapshot(), 4);
+    EXPECT_NE(bars.find("core 00"), std::string::npos);
+    EXPECT_NE(bars.find("core 03"), std::string::npos);
+    EXPECT_NE(bars.find('%'), std::string::npos);
+}
+
+TEST(Visualize, AllocationViewNamesTypes)
+{
+    BenchmarkSuite suite;
+    Workload workload = Workload::buildSingle(suite, "Find", 1.0, 4);
+    MachineParams mp;
+    mp.numCores = 4;
+    mp.epochCycles = 40000;
+    SchedTaskScheduler sched;
+    Machine m(mp, HierarchyParams::paperDefault(), suite, workload,
+              sched);
+    m.run(4 * mp.epochCycles); // several TAlloc invocations
+    const std::string view = allocationView(sched);
+    EXPECT_NE(view.find("core 00"), std::string::npos);
+    // At least one catalog name with a share appears.
+    EXPECT_NE(view.find("%)"), std::string::npos);
+}
+
+TEST(Visualize, JsonDumpParsesNaively)
+{
+    StatSet stats;
+    stats.get("a.b").add(1.5);
+    stats.get("c").add(2.0);
+    stats.get("c").add(3.0);
+    const std::string json = stats.dumpJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"a.b\": {\"sum\": 1.5, \"samples\": 1}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"c\": {\"sum\": 5, \"samples\": 2}"),
+              std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * schedtask-sim: command-line front end to the simulator.
+ *
+ * Runs one benchmark under one scheduling technique and prints the
+ * headline metrics, optionally a full gem5-style stats dump and a
+ * SuperFunction trace excerpt.
+ *
+ * Usage:
+ *   schedtask-sim [options]
+ *     --benchmark NAME   Find|Iscp|Oscp|Apache|DSS|FileSrv|
+ *                        MailSrvIO|OLTP (default Apache)
+ *     --bag NAME         run a multi-programmed bag (MPW-A..MPW-F)
+ *                        instead of a single benchmark
+ *     --technique NAME   Linux|SelectiveOffload|FlexSC|
+ *                        DisAggregateOS|SLICC|SchedTask
+ *                        (default SchedTask)
+ *     --cores N          baseline cores (default 32)
+ *     --scale X          workload scale (default 2.0)
+ *     --warmup N         warmup epochs (default 4)
+ *     --measure N        measured epochs (default 6)
+ *     --heatmap-bits N   Page-heatmap width (default 512)
+ *     --steal POLICY     none|same|similar|busiest (default similar)
+ *     --seed N           master seed (default 1)
+ *     --stats            print the full stats dump
+ *     --trace [TID]      print a SuperFunction trace excerpt
+ *     --compare          also run the Linux baseline and print deltas
+ *     --help
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/schedtask_sched.hh"
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "harness/visualize.hh"
+#include "sim/machine.hh"
+#include "sim/sf_trace.hh"
+#include "stats/stat_set.hh"
+#include "stats/table.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "schedtask-sim: run one benchmark under one scheduling "
+        "technique\n\n"
+        "  --benchmark NAME   one of the 8 paper benchmarks "
+        "(default Apache)\n"
+        "  --bag NAME         multi-programmed bag MPW-A..MPW-F\n"
+        "  --technique NAME   Linux|SelectiveOffload|FlexSC|"
+        "DisAggregateOS|SLICC|SchedTask\n"
+        "  --cores N          baseline cores (default 32)\n"
+        "  --scale X          workload scale (default 2.0)\n"
+        "  --warmup N         warmup epochs (default 4)\n"
+        "  --measure N        measured epochs (default 6)\n"
+        "  --heatmap-bits N   Page-heatmap width (default 512)\n"
+        "  --steal POLICY     none|same|similar|busiest\n"
+        "  --seed N           master seed (default 1)\n"
+        "  --stats            print the full stats dump\n"
+        "  --json             print the stats dump as JSON\n"
+        "  --viz              print per-core utilization bars and\n"
+        "                     (SchedTask) the allocation table\n"
+        "  --trace [TID]      print a SuperFunction trace excerpt\n"
+        "  --compare          also run the Linux baseline\n");
+    std::exit(code);
+}
+
+Technique
+parseTechnique(const std::string &name)
+{
+    for (Technique t :
+         {Technique::Linux, Technique::SelectiveOffload,
+          Technique::FlexSC, Technique::DisAggregateOS,
+          Technique::SLICC, Technique::SchedTask}) {
+        if (name == techniqueName(t))
+            return t;
+    }
+    std::fprintf(stderr, "unknown technique: %s\n", name.c_str());
+    std::exit(2);
+}
+
+StealPolicy
+parseSteal(const std::string &name)
+{
+    if (name == "none")
+        return StealPolicy::None;
+    if (name == "same")
+        return StealPolicy::SameOnly;
+    if (name == "similar")
+        return StealPolicy::SameAndSimilar;
+    if (name == "busiest")
+        return StealPolicy::BusiestFirst;
+    std::fprintf(stderr, "unknown steal policy: %s\n", name.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark = "Apache";
+    std::optional<std::string> bag;
+    Technique technique = Technique::SchedTask;
+    unsigned cores = 32;
+    double scale = 2.0;
+    unsigned warmup = 4, measure = 6;
+    unsigned heatmap_bits = 512;
+    StealPolicy steal = StealPolicy::SameAndSimilar;
+    std::uint64_t seed = 1;
+    bool want_stats = false, want_compare = false;
+    bool want_json = false, want_viz = false;
+    std::optional<ThreadId> trace_tid;
+    bool want_trace = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (arg == "--benchmark") {
+            benchmark = next();
+        } else if (arg == "--bag") {
+            bag = next();
+        } else if (arg == "--technique") {
+            technique = parseTechnique(next());
+        } else if (arg == "--cores") {
+            cores = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--scale") {
+            scale = std::atof(next());
+        } else if (arg == "--warmup") {
+            warmup = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--measure") {
+            measure = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--heatmap-bits") {
+            heatmap_bits = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--steal") {
+            steal = parseSteal(next());
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--stats") {
+            want_stats = true;
+        } else if (arg == "--json") {
+            want_json = true;
+        } else if (arg == "--viz") {
+            want_viz = true;
+        } else if (arg == "--compare") {
+            want_compare = true;
+        } else if (arg == "--trace") {
+            want_trace = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                trace_tid = static_cast<ThreadId>(
+                    std::atoi(argv[++i]));
+            }
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(2);
+        }
+    }
+
+    ExperimentConfig cfg;
+    cfg.parts = bag ? Workload::bagParts(*bag)
+                    : std::vector<WorkloadPart>{{benchmark, scale}};
+    cfg.baselineCores = cores;
+    cfg.warmupEpochs = warmup;
+    cfg.measureEpochs = measure;
+    cfg.machine.heatmapBits = heatmap_bits;
+    cfg.machine.seed = seed;
+    cfg.schedTask.stealPolicy = steal;
+
+    // Build the run by hand so stats/trace can be attached.
+    BenchmarkSuite suite;
+    Workload workload =
+        Workload::build(suite, cfg.parts, cfg.baselineCores);
+    auto sched = makeScheduler(technique, cfg.schedTask);
+    MachineParams mp = cfg.machine;
+    mp.numCores = sched->coresRequired(cfg.baselineCores);
+    Machine machine(mp, cfg.hierarchy, suite, workload, *sched);
+
+    machine.run(static_cast<Cycles>(warmup) * mp.epochCycles);
+    machine.resetStats();
+    SfTracer tracer(1 << 18);
+    if (want_trace)
+        machine.attachTracer(&tracer);
+    machine.run(static_cast<Cycles>(measure) * mp.epochCycles);
+
+    const SimMetrics m = machine.metricsSnapshot();
+    printHeader(std::string(techniqueName(technique)) + " on "
+                + (bag ? *bag : benchmark));
+    TextTable table({"metric", "value"});
+    table.addRow({"cores", std::to_string(mp.numCores)});
+    table.addRow({"threads",
+                  std::to_string(machine.threads().size())});
+    table.addRow({"IPC/core",
+                  TextTable::num(m.ipc(mp.numCores), 3)});
+    table.addRow({"Ginsts/s",
+                  TextTable::num(
+                      m.instThroughput(mp.coreFrequencyGHz) / 1e9,
+                      2)});
+    table.addRow({"app events/s (x1e6)",
+                  TextTable::num(
+                      m.appEventsPerSecond(mp.coreFrequencyGHz) / 1e6,
+                      2)});
+    table.addRow({"idle (%)",
+                  TextTable::num(m.idleFraction(mp.numCores) * 100.0)});
+    table.addRow({"migrations/1e9 insts",
+                  TextTable::num(
+                      m.instsRetired == 0
+                          ? 0.0
+                          : 1e9 * static_cast<double>(m.migrations)
+                              / static_cast<double>(m.instsRetired),
+                      0)});
+    std::printf("%s\n", table.render().c_str());
+
+    if (want_compare && technique != Technique::Linux) {
+        const RunResult base = runOnce(cfg, Technique::Linux);
+        const double dthr = percentChange(
+            base.instThroughput(),
+            m.instThroughput(mp.coreFrequencyGHz));
+        const double dapp = percentChange(
+            base.appPerformance(),
+            m.appEventsPerSecond(mp.coreFrequencyGHz));
+        std::printf("vs Linux baseline: throughput %+0.1f%%, "
+                    "app performance %+0.1f%%\n\n",
+                    dthr, dapp);
+    }
+
+    if (want_stats || want_json) {
+        StatSet stats;
+        machine.exportStats(stats);
+        if (want_stats)
+            std::printf("%s\n", stats.dump().c_str());
+        if (want_json)
+            std::printf("%s", stats.dumpJson().c_str());
+    }
+
+    if (want_viz) {
+        std::printf("%s\n",
+                    utilizationBars(m, mp.numCores).c_str());
+        if (const auto *st =
+                dynamic_cast<const SchedTaskScheduler *>(
+                    sched.get())) {
+            std::printf("allocation table:\n%s\n",
+                        allocationView(*st).c_str());
+        }
+    }
+
+    if (want_trace) {
+        std::printf("%s\n",
+                    tracer
+                        .render(trace_tid.value_or(invalidThread),
+                                60)
+                        .c_str());
+    }
+    return 0;
+}
