@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_talloc.dir/ablation_talloc.cc.o"
+  "CMakeFiles/ablation_talloc.dir/ablation_talloc.cc.o.d"
+  "ablation_talloc"
+  "ablation_talloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_talloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

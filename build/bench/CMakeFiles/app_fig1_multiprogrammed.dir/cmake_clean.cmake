@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_fig1_multiprogrammed.dir/app_fig1_multiprogrammed.cc.o"
+  "CMakeFiles/app_fig1_multiprogrammed.dir/app_fig1_multiprogrammed.cc.o.d"
+  "app_fig1_multiprogrammed"
+  "app_fig1_multiprogrammed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_fig1_multiprogrammed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_fig2_prefetcher.dir/app_fig2_prefetcher.cc.o"
+  "CMakeFiles/app_fig2_prefetcher.dir/app_fig2_prefetcher.cc.o.d"
+  "app_fig2_prefetcher"
+  "app_fig2_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_fig2_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_fig3_trace_cache.dir/app_fig3_trace_cache.cc.o"
+  "CMakeFiles/app_fig3_trace_cache.dir/app_fig3_trace_cache.cc.o.d"
+  "app_fig3_trace_cache"
+  "app_fig3_trace_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_fig3_trace_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for app_fig3_trace_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_tab2_icache_size.dir/app_tab2_icache_size.cc.o"
+  "CMakeFiles/app_tab2_icache_size.dir/app_tab2_icache_size.cc.o.d"
+  "app_tab2_icache_size"
+  "app_tab2_icache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_tab2_icache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

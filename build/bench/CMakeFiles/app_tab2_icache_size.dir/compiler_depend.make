@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for app_tab2_icache_size.
+# This may be replaced when dependencies are built.

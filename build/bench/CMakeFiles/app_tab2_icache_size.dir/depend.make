@@ -1,0 +1,2 @@
+# Empty dependencies file for app_tab2_icache_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_tab3_cache_config.dir/app_tab3_cache_config.cc.o"
+  "CMakeFiles/app_tab3_cache_config.dir/app_tab3_cache_config.cc.o.d"
+  "app_tab3_cache_config"
+  "app_tab3_cache_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_tab3_cache_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for app_tab3_cache_config.
+# This may be replaced when dependencies are built.

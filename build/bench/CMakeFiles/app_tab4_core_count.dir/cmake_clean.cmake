@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_tab4_core_count.dir/app_tab4_core_count.cc.o"
+  "CMakeFiles/app_tab4_core_count.dir/app_tab4_core_count.cc.o.d"
+  "app_tab4_core_count"
+  "app_tab4_core_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_tab4_core_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for app_tab4_core_count.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_breakup.dir/fig04_breakup.cc.o"
+  "CMakeFiles/fig04_breakup.dir/fig04_breakup.cc.o.d"
+  "fig04_breakup"
+  "fig04_breakup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_breakup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

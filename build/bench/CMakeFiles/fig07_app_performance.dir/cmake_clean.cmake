@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_app_performance.dir/fig07_app_performance.cc.o"
+  "CMakeFiles/fig07_app_performance.dir/fig07_app_performance.cc.o.d"
+  "fig07_app_performance"
+  "fig07_app_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_app_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_microarch.dir/fig08_microarch.cc.o"
+  "CMakeFiles/fig08_microarch.dir/fig08_microarch.cc.o.d"
+  "fig08_microarch"
+  "fig08_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_work_stealing.dir/fig09_work_stealing.cc.o"
+  "CMakeFiles/fig09_work_stealing.dir/fig09_work_stealing.cc.o.d"
+  "fig09_work_stealing"
+  "fig09_work_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_work_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

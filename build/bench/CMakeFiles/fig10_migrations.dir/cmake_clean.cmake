@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_migrations.dir/fig10_migrations.cc.o"
+  "CMakeFiles/fig10_migrations.dir/fig10_migrations.cc.o.d"
+  "fig10_migrations"
+  "fig10_migrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

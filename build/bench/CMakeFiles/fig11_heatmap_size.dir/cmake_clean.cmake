@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_heatmap_size.dir/fig11_heatmap_size.cc.o"
+  "CMakeFiles/fig11_heatmap_size.dir/fig11_heatmap_size.cc.o.d"
+  "fig11_heatmap_size"
+  "fig11_heatmap_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_heatmap_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

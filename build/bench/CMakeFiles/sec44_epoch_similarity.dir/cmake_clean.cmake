@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_epoch_similarity.dir/sec44_epoch_similarity.cc.o"
+  "CMakeFiles/sec44_epoch_similarity.dir/sec44_epoch_similarity.cc.o.d"
+  "sec44_epoch_similarity"
+  "sec44_epoch_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_epoch_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

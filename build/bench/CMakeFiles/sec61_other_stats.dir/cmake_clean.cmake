@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_other_stats.dir/sec61_other_stats.cc.o"
+  "CMakeFiles/sec61_other_stats.dir/sec61_other_stats.cc.o.d"
+  "sec61_other_stats"
+  "sec61_other_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_other_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_workload_scaling.dir/tab04_workload_scaling.cc.o"
+  "CMakeFiles/tab04_workload_scaling.dir/tab04_workload_scaling.cc.o.d"
+  "tab04_workload_scaling"
+  "tab04_workload_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_workload_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

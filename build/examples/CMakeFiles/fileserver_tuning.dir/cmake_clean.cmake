@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fileserver_tuning.dir/fileserver_tuning.cpp.o"
+  "CMakeFiles/fileserver_tuning.dir/fileserver_tuning.cpp.o.d"
+  "fileserver_tuning"
+  "fileserver_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fileserver_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

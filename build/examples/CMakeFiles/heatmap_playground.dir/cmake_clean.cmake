@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heatmap_playground.dir/heatmap_playground.cpp.o"
+  "CMakeFiles/heatmap_playground.dir/heatmap_playground.cpp.o.d"
+  "heatmap_playground"
+  "heatmap_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heatmap_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_consolidation.dir/server_consolidation.cpp.o"
+  "CMakeFiles/server_consolidation.dir/server_consolidation.cpp.o.d"
+  "server_consolidation"
+  "server_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

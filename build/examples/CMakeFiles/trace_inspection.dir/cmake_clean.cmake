@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_inspection.dir/trace_inspection.cpp.o"
+  "CMakeFiles/trace_inspection.dir/trace_inspection.cpp.o.d"
+  "trace_inspection"
+  "trace_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

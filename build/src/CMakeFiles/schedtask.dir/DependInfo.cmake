@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/schedtask.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/math_utils.cc" "src/CMakeFiles/schedtask.dir/common/math_utils.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/common/math_utils.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/schedtask.dir/common/random.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/common/random.cc.o.d"
+  "/root/repo/src/core/alloc_table.cc" "src/CMakeFiles/schedtask.dir/core/alloc_table.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/alloc_table.cc.o.d"
+  "/root/repo/src/core/overlap_table.cc" "src/CMakeFiles/schedtask.dir/core/overlap_table.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/overlap_table.cc.o.d"
+  "/root/repo/src/core/page_heatmap.cc" "src/CMakeFiles/schedtask.dir/core/page_heatmap.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/page_heatmap.cc.o.d"
+  "/root/repo/src/core/schedtask_sched.cc" "src/CMakeFiles/schedtask.dir/core/schedtask_sched.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/schedtask_sched.cc.o.d"
+  "/root/repo/src/core/sf_type.cc" "src/CMakeFiles/schedtask.dir/core/sf_type.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/sf_type.cc.o.d"
+  "/root/repo/src/core/stats_table.cc" "src/CMakeFiles/schedtask.dir/core/stats_table.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/stats_table.cc.o.d"
+  "/root/repo/src/core/super_function.cc" "src/CMakeFiles/schedtask.dir/core/super_function.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/super_function.cc.o.d"
+  "/root/repo/src/core/talloc.cc" "src/CMakeFiles/schedtask.dir/core/talloc.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/talloc.cc.o.d"
+  "/root/repo/src/core/tmigrate.cc" "src/CMakeFiles/schedtask.dir/core/tmigrate.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/core/tmigrate.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/schedtask.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/reporting.cc" "src/CMakeFiles/schedtask.dir/harness/reporting.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/harness/reporting.cc.o.d"
+  "/root/repo/src/harness/visualize.cc" "src/CMakeFiles/schedtask.dir/harness/visualize.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/harness/visualize.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/schedtask.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/schedtask.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/schedtask.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/CMakeFiles/schedtask.dir/mem/prefetcher.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/mem/prefetcher.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/schedtask.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/mem/trace_cache.cc" "src/CMakeFiles/schedtask.dir/mem/trace_cache.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/mem/trace_cache.cc.o.d"
+  "/root/repo/src/sched/disagg_os.cc" "src/CMakeFiles/schedtask.dir/sched/disagg_os.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sched/disagg_os.cc.o.d"
+  "/root/repo/src/sched/flexsc.cc" "src/CMakeFiles/schedtask.dir/sched/flexsc.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sched/flexsc.cc.o.d"
+  "/root/repo/src/sched/linux_sched.cc" "src/CMakeFiles/schedtask.dir/sched/linux_sched.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sched/linux_sched.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/schedtask.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/selective_offload.cc" "src/CMakeFiles/schedtask.dir/sched/selective_offload.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sched/selective_offload.cc.o.d"
+  "/root/repo/src/sched/slicc.cc" "src/CMakeFiles/schedtask.dir/sched/slicc.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sched/slicc.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/CMakeFiles/schedtask.dir/sim/core.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sim/core.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/schedtask.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/interrupt.cc" "src/CMakeFiles/schedtask.dir/sim/interrupt.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sim/interrupt.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/schedtask.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/schedtask.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/sf_trace.cc" "src/CMakeFiles/schedtask.dir/sim/sf_trace.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sim/sf_trace.cc.o.d"
+  "/root/repo/src/sim/thread.cc" "src/CMakeFiles/schedtask.dir/sim/thread.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/sim/thread.cc.o.d"
+  "/root/repo/src/stats/stat_set.cc" "src/CMakeFiles/schedtask.dir/stats/stat_set.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/stats/stat_set.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/schedtask.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/stats/table.cc.o.d"
+  "/root/repo/src/workload/benchmarks.cc" "src/CMakeFiles/schedtask.dir/workload/benchmarks.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/workload/benchmarks.cc.o.d"
+  "/root/repo/src/workload/footprint.cc" "src/CMakeFiles/schedtask.dir/workload/footprint.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/workload/footprint.cc.o.d"
+  "/root/repo/src/workload/region_map.cc" "src/CMakeFiles/schedtask.dir/workload/region_map.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/workload/region_map.cc.o.d"
+  "/root/repo/src/workload/script.cc" "src/CMakeFiles/schedtask.dir/workload/script.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/workload/script.cc.o.d"
+  "/root/repo/src/workload/sf_catalog.cc" "src/CMakeFiles/schedtask.dir/workload/sf_catalog.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/workload/sf_catalog.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/schedtask.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/schedtask.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for schedtask.
+# This may be replaced when dependencies are built.

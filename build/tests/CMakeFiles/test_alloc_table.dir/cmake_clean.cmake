@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_table.dir/test_alloc_table.cc.o"
+  "CMakeFiles/test_alloc_table.dir/test_alloc_table.cc.o.d"
+  "test_alloc_table"
+  "test_alloc_table.pdb"
+  "test_alloc_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

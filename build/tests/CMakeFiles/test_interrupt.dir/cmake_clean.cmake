@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interrupt.dir/test_interrupt.cc.o"
+  "CMakeFiles/test_interrupt.dir/test_interrupt.cc.o.d"
+  "test_interrupt"
+  "test_interrupt.pdb"
+  "test_interrupt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

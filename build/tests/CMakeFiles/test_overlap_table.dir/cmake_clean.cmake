@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlap_table.dir/test_overlap_table.cc.o"
+  "CMakeFiles/test_overlap_table.dir/test_overlap_table.cc.o.d"
+  "test_overlap_table"
+  "test_overlap_table.pdb"
+  "test_overlap_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlap_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

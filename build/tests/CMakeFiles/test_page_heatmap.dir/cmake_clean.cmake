@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_heatmap.dir/test_page_heatmap.cc.o"
+  "CMakeFiles/test_page_heatmap.dir/test_page_heatmap.cc.o.d"
+  "test_page_heatmap"
+  "test_page_heatmap.pdb"
+  "test_page_heatmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_headlines.dir/test_paper_headlines.cc.o"
+  "CMakeFiles/test_paper_headlines.dir/test_paper_headlines.cc.o.d"
+  "test_paper_headlines"
+  "test_paper_headlines.pdb"
+  "test_paper_headlines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_headlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_map.dir/test_region_map.cc.o"
+  "CMakeFiles/test_region_map.dir/test_region_map.cc.o.d"
+  "test_region_map"
+  "test_region_map.pdb"
+  "test_region_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

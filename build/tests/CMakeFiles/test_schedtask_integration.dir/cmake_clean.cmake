@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedtask_integration.dir/test_schedtask_integration.cc.o"
+  "CMakeFiles/test_schedtask_integration.dir/test_schedtask_integration.cc.o.d"
+  "test_schedtask_integration"
+  "test_schedtask_integration.pdb"
+  "test_schedtask_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedtask_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sf_catalog.dir/test_sf_catalog.cc.o"
+  "CMakeFiles/test_sf_catalog.dir/test_sf_catalog.cc.o.d"
+  "test_sf_catalog"
+  "test_sf_catalog.pdb"
+  "test_sf_catalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sf_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

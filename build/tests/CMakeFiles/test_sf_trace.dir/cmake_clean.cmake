@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sf_trace.dir/test_sf_trace.cc.o"
+  "CMakeFiles/test_sf_trace.dir/test_sf_trace.cc.o.d"
+  "test_sf_trace"
+  "test_sf_trace.pdb"
+  "test_sf_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sf_type.dir/test_sf_type.cc.o"
+  "CMakeFiles/test_sf_type.dir/test_sf_type.cc.o.d"
+  "test_sf_type"
+  "test_sf_type.pdb"
+  "test_sf_type[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sf_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_table.dir/test_stats_table.cc.o"
+  "CMakeFiles/test_stats_table.dir/test_stats_table.cc.o.d"
+  "test_stats_table"
+  "test_stats_table.pdb"
+  "test_stats_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_super_function.dir/test_super_function.cc.o"
+  "CMakeFiles/test_super_function.dir/test_super_function.cc.o.d"
+  "test_super_function"
+  "test_super_function.pdb"
+  "test_super_function[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_super_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

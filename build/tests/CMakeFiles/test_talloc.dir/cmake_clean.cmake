@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_talloc.dir/test_talloc.cc.o"
+  "CMakeFiles/test_talloc.dir/test_talloc.cc.o.d"
+  "test_talloc"
+  "test_talloc.pdb"
+  "test_talloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_talloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmigrate.dir/test_tmigrate.cc.o"
+  "CMakeFiles/test_tmigrate.dir/test_tmigrate.cc.o.d"
+  "test_tmigrate"
+  "test_tmigrate.pdb"
+  "test_tmigrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmigrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

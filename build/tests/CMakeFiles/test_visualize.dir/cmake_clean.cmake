@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visualize.dir/test_visualize.cc.o"
+  "CMakeFiles/test_visualize.dir/test_visualize.cc.o.d"
+  "test_visualize"
+  "test_visualize.pdb"
+  "test_visualize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visualize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

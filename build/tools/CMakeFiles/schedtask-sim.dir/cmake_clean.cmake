@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedtask-sim.dir/schedtask_sim.cc.o"
+  "CMakeFiles/schedtask-sim.dir/schedtask_sim.cc.o.d"
+  "schedtask-sim"
+  "schedtask-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedtask-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
