@@ -14,25 +14,14 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 
 using namespace schedtask;
-
-namespace
-{
-
-double
-gain(const ExperimentConfig &cfg)
-{
-    const RunResult base = runOnce(cfg, Technique::Linux);
-    const RunResult st = runOnce(cfg, Technique::SchedTask);
-    return percentChange(base.instThroughput(), st.instThroughput());
-}
-
-} // namespace
 
 int
 main()
@@ -41,39 +30,66 @@ main()
                 "vs Linux");
 
     const std::vector<std::string> benches = {"Apache", "FileSrv"};
-    TextTable table({"variant", "Apache", "FileSrv"});
 
-    auto add_row = [&](const std::string &name, auto &&mutate) {
-        std::vector<std::string> cells = {name};
-        for (const std::string &b : benches) {
-            ExperimentConfig cfg = ExperimentConfig::standard(b);
-            mutate(cfg);
-            cells.push_back(TextTable::pct(gain(cfg)));
-            std::fprintf(stderr, ".");
-        }
-        table.addRow(std::move(cells));
-        std::fprintf(stderr, " %s done\n", name.c_str());
+    // Variant name -> config derivation. The four variants that only
+    // touch SchedTask knobs share one deduplicated Linux baseline
+    // per benchmark; the epoch variants change the machine and get
+    // their own.
+    using Variant = std::pair<
+        std::string,
+        std::function<ExperimentConfig(const std::string &)>>;
+    const std::vector<Variant> variants = {
+        {"default (250k-cycle epoch)",
+         [](const std::string &b) {
+             return ExperimentConfig::standard(b);
+         }},
+        {"short epoch (100k)",
+         [](const std::string &b) {
+             return ExperimentConfig::standard(b).withEpochCycles(
+                 100000);
+         }},
+        {"long epoch (500k)",
+         [](const std::string &b) {
+             return ExperimentConfig::standard(b)
+                 .withEpochCycles(500000)
+                 .withEpochs(3, 4);
+         }},
+        {"no interrupt routing",
+         [](const std::string &b) {
+             return ExperimentConfig::standard(b)
+                 .withRouteInterrupts(false);
+         }},
+        {"no demand smoothing",
+         [](const std::string &b) {
+             // React fully to each epoch's measurement.
+             return ExperimentConfig::standard(b)
+                 .withDemandSmoothing(1.0);
+         }},
+        {"steal busiest (type-blind)",
+         [](const std::string &b) {
+             return ExperimentConfig::standard(b).withSteal(
+                 StealPolicy::BusiestFirst);
+         }},
     };
 
-    add_row("default (250k-cycle epoch)", [](ExperimentConfig &) {});
-    add_row("short epoch (100k)", [](ExperimentConfig &cfg) {
-        cfg.machine.epochCycles = 100000;
-    });
-    add_row("long epoch (500k)", [](ExperimentConfig &cfg) {
-        cfg.machine.epochCycles = 500000;
-        cfg.warmupEpochs = 3;
-        cfg.measureEpochs = 4;
-    });
-    add_row("no interrupt routing", [](ExperimentConfig &cfg) {
-        cfg.schedTask.routeInterrupts = false;
-    });
-    add_row("no demand smoothing", [](ExperimentConfig &cfg) {
-        // React fully to each epoch's measurement.
-        cfg.schedTask.demandSmoothing = 1.0;
-    });
-    add_row("steal busiest (type-blind)", [](ExperimentConfig &cfg) {
-        cfg.schedTask.stealPolicy = StealPolicy::BusiestFirst;
-    });
+    Sweep sweep;
+    for (const std::string &bench : benches) {
+        for (const auto &[name, make] : variants) {
+            sweep.addComparison(bench, name, make(bench),
+                                Technique::SchedTask);
+        }
+    }
+    const SweepResults results = SweepRunner().run(sweep);
+    const SeriesMatrix gains =
+        SweepReport(sweep, results).throughputChange();
+
+    TextTable table({"variant", "Apache", "FileSrv"});
+    for (const auto &[name, make] : variants) {
+        std::vector<std::string> cells = {name};
+        for (const std::string &bench : benches)
+            cells.push_back(TextTable::pct(gains.get(bench, name)));
+        table.addRow(std::move(cells));
+    }
 
     std::printf("%s\n", table.render().c_str());
     std::printf("Expected: the default dominates; short epochs "

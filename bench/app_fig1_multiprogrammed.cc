@@ -17,6 +17,7 @@
 #include "common/math_utils.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "workload/workload.hh"
 
 using namespace schedtask;
@@ -53,23 +54,14 @@ main()
     printHeader("Appendix Figure 1: change in weighted instruction "
                 "throughput (%) on multi-programmed bags");
 
-    std::vector<std::string> technique_names;
-    for (Technique t : comparedTechniques())
-        technique_names.push_back(techniqueName(t));
-    SeriesMatrix matrix(Workload::bagNames(), technique_names);
-
-    for (const std::string &bag : Workload::bagNames()) {
-        const ExperimentConfig cfg =
-            ExperimentConfig::standardBag(bag);
-        const RunResult base = runOnce(cfg, Technique::Linux);
-        for (Technique t : comparedTechniques()) {
-            const RunResult run = runOnce(cfg, t);
-            matrix.set(bag, techniqueName(t),
-                       weightedChange(base, run));
-            std::fprintf(stderr, ".");
-        }
-        std::fprintf(stderr, " %s done\n", bag.c_str());
-    }
+    const Sweep sweep = Sweep::cross(
+        Workload::bagNames(), comparedTechniques(),
+        [](const std::string &bag) {
+            return ExperimentConfig::standardBag(bag);
+        });
+    const SweepResults results = SweepRunner().run(sweep);
+    const SeriesMatrix matrix =
+        SweepReport(sweep, results).matrix(weightedChange);
 
     std::printf("%s\n", matrix.renderWithGmean("bag").c_str());
     std::printf("Paper gmean: SelectiveOffload +21.5, FlexSC -2.3, "

@@ -12,6 +12,7 @@
 #include "common/math_utils.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "workload/benchmarks.hh"
 
 using namespace schedtask;
@@ -22,33 +23,33 @@ main()
     printHeader("Appendix Figure 2: throughput change (%) with a "
                 "call-graph instruction prefetcher in the baseline");
 
-    std::vector<std::string> technique_names;
-    for (Technique t : comparedTechniques())
-        technique_names.push_back(techniqueName(t));
-    SeriesMatrix matrix(BenchmarkSuite::benchmarkNames(),
-                        technique_names);
+    // Per benchmark: a no-prefetch Linux reference (for the miss-
+    // savings line) plus the technique comparisons against the
+    // CGP-equipped Linux baseline.
+    Sweep sweep;
+    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
+        const ExperimentConfig plain =
+            ExperimentConfig::standard(bench);
+        const ExperimentConfig cgp =
+            ExperimentConfig::standard(bench).withCgpPrefetcher();
+        sweep.addBaseline(bench, plain);
+        for (Technique t : comparedTechniques())
+            sweep.addComparison(bench, techniqueName(t), cgp, t);
+    }
+    const SweepResults results = SweepRunner().run(sweep);
+    const SeriesMatrix matrix =
+        SweepReport(sweep, results).throughputChange();
 
     double base_misses = 0.0, cgp_misses = 0.0;
-
-    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
-        ExperimentConfig cfg = ExperimentConfig::standard(bench);
-
-        // The no-prefetch baseline, to report the CGP miss savings.
-        const RunResult plain = runOnce(cfg, Technique::Linux);
-
-        cfg.useCgpPrefetcher = true;
-        const RunResult base = runOnce(cfg, Technique::Linux);
-        base_misses += 1.0 - plain.iHitAll;
-        cgp_misses += 1.0 - base.iHitAll;
-
-        for (Technique t : comparedTechniques()) {
-            const RunResult run = runOnce(cfg, t);
-            matrix.set(bench, techniqueName(t),
-                       percentChange(base.instThroughput(),
-                                     run.instThroughput()));
-            std::fprintf(stderr, ".");
-        }
-        std::fprintf(stderr, " %s done\n", bench.c_str());
+    for (const std::string &bench : sweep.rows()) {
+        const ExperimentConfig plain =
+            ExperimentConfig::standard(bench);
+        const ExperimentConfig cgp =
+            ExperimentConfig::standard(bench).withCgpPrefetcher();
+        base_misses +=
+            1.0 - results.at(baselineLabelFor(bench, plain)).iHitAll;
+        cgp_misses +=
+            1.0 - results.at(baselineLabelFor(bench, cgp)).iHitAll;
     }
 
     std::printf("%s\n", matrix.renderWithGmean("benchmark").c_str());

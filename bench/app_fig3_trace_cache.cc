@@ -12,6 +12,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "workload/benchmarks.hh"
 
 using namespace schedtask;
@@ -22,25 +23,14 @@ main()
     printHeader("Appendix Figure 3: throughput change (%) with a "
                 "trace cache in the baseline");
 
-    std::vector<std::string> technique_names;
-    for (Technique t : comparedTechniques())
-        technique_names.push_back(techniqueName(t));
-    SeriesMatrix matrix(BenchmarkSuite::benchmarkNames(),
-                        technique_names);
-
-    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
-        ExperimentConfig cfg = ExperimentConfig::standard(bench);
-        cfg.useTraceCache = true;
-        const RunResult base = runOnce(cfg, Technique::Linux);
-        for (Technique t : comparedTechniques()) {
-            const RunResult run = runOnce(cfg, t);
-            matrix.set(bench, techniqueName(t),
-                       percentChange(base.instThroughput(),
-                                     run.instThroughput()));
-            std::fprintf(stderr, ".");
-        }
-        std::fprintf(stderr, " %s done\n", bench.c_str());
-    }
+    const Sweep sweep = Sweep::cross(
+        BenchmarkSuite::benchmarkNames(), comparedTechniques(),
+        [](const std::string &bench) {
+            return ExperimentConfig::standard(bench).withTraceCache();
+        });
+    const SweepResults results = SweepRunner().run(sweep);
+    const SeriesMatrix matrix =
+        SweepReport(sweep, results).throughputChange();
 
     std::printf("%s\n", matrix.renderWithGmean("benchmark").c_str());
     std::printf("Paper gmean: SelectiveOffload +7.2, FlexSC -20.4, "

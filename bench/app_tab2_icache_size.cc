@@ -12,6 +12,7 @@
 #include "common/math_utils.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 #include "workload/benchmarks.hh"
 
@@ -32,39 +33,32 @@ main()
         headers.push_back("gmean");
         TextTable table(headers);
 
-        std::vector<std::vector<std::string>> rows;
-        std::vector<std::vector<double>> vals(
-            comparedTechniques().size());
-        for (Technique t : comparedTechniques())
-            rows.push_back({std::string(techniqueName(t))});
+        const Sweep sweep = Sweep::cross(
+            BenchmarkSuite::benchmarkNames(), comparedTechniques(),
+            [kb](const std::string &bench) {
+                return ExperimentConfig::standard(bench).withL1ISize(
+                    kb * 1024ull);
+            });
+        const SweepResults results = SweepRunner().run(sweep);
+        const SweepReport report(sweep, results);
+        const SeriesMatrix perf = report.throughputChange();
+        const SeriesMatrix ihit = report.matrix(
+            [](const RunResult &base, const RunResult &run) {
+                return pointChange(base.iHitAll, run.iHitAll);
+            });
 
-        for (const std::string &bench :
-             BenchmarkSuite::benchmarkNames()) {
-            ExperimentConfig cfg = ExperimentConfig::standard(bench);
-            cfg.hierarchy.l1i.sizeBytes = kb * 1024ull;
-            const RunResult base = runOnce(cfg, Technique::Linux);
-            for (std::size_t ti = 0;
-                 ti < comparedTechniques().size(); ++ti) {
-                const RunResult run =
-                    runOnce(cfg, comparedTechniques()[ti]);
-                const double perf =
-                    percentChange(base.instThroughput(),
-                                  run.instThroughput());
-                const double ihit =
-                    pointChange(base.iHitAll, run.iHitAll);
-                rows[ti].push_back(TextTable::num(ihit, 0) + "/"
-                                   + TextTable::pct(perf, 0));
-                vals[ti].push_back(perf);
-                std::fprintf(stderr, ".");
+        for (Technique t : comparedTechniques()) {
+            const std::string name = techniqueName(t);
+            std::vector<std::string> row = {name};
+            for (const std::string &bench :
+                 BenchmarkSuite::benchmarkNames()) {
+                row.push_back(
+                    TextTable::num(ihit.get(bench, name), 0) + "/"
+                    + TextTable::pct(perf.get(bench, name), 0));
             }
-            std::fprintf(stderr, " %s@%uKB done\n", bench.c_str(),
-                         kb);
-        }
-        for (std::size_t ti = 0; ti < comparedTechniques().size();
-             ++ti) {
-            rows[ti].push_back(TextTable::pct(
-                geometricMeanPercent(vals[ti]), 0));
-            table.addRow(rows[ti]);
+            row.push_back(TextTable::pct(
+                geometricMeanPercent(perf.column(name)), 0));
+            table.addRow(std::move(row));
         }
         std::printf("\n-- %u KB i-cache (cells: iHit pp / perf %%) "
                     "--\n%s",

@@ -17,6 +17,7 @@
 #include "common/math_utils.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 #include "workload/benchmarks.hh"
 
@@ -42,36 +43,26 @@ main()
         headers.push_back("gmean");
         TextTable table(headers);
 
-        std::vector<std::vector<std::string>> rows;
-        std::vector<std::vector<double>> vals(
-            comparedTechniques().size());
-        for (Technique t : comparedTechniques())
-            rows.push_back({std::string(techniqueName(t))});
+        const Sweep sweep = Sweep::cross(
+            BenchmarkSuite::benchmarkNames(), comparedTechniques(),
+            [&hier](const std::string &bench) {
+                return ExperimentConfig::standard(bench)
+                    .withHierarchy(hier);
+            });
+        const SweepResults results = SweepRunner().run(sweep);
+        const SeriesMatrix perf =
+            SweepReport(sweep, results).throughputChange();
 
-        for (const std::string &bench :
-             BenchmarkSuite::benchmarkNames()) {
-            ExperimentConfig cfg = ExperimentConfig::standard(bench);
-            cfg.hierarchy = hier;
-            const RunResult base = runOnce(cfg, Technique::Linux);
-            for (std::size_t ti = 0;
-                 ti < comparedTechniques().size(); ++ti) {
-                const RunResult run =
-                    runOnce(cfg, comparedTechniques()[ti]);
-                const double perf =
-                    percentChange(base.instThroughput(),
-                                  run.instThroughput());
-                rows[ti].push_back(TextTable::pct(perf, 0));
-                vals[ti].push_back(perf);
-                std::fprintf(stderr, ".");
-            }
-            std::fprintf(stderr, " %s@%s done\n", bench.c_str(),
-                         name.c_str());
-        }
-        for (std::size_t ti = 0; ti < comparedTechniques().size();
-             ++ti) {
-            rows[ti].push_back(TextTable::pct(
-                geometricMeanPercent(vals[ti]), 0));
-            table.addRow(rows[ti]);
+        for (Technique t : comparedTechniques()) {
+            const std::string tname = techniqueName(t);
+            std::vector<std::string> row = {tname};
+            for (const std::string &bench :
+                 BenchmarkSuite::benchmarkNames())
+                row.push_back(
+                    TextTable::pct(perf.get(bench, tname), 0));
+            row.push_back(TextTable::pct(
+                geometricMeanPercent(perf.column(tname)), 0));
+            table.addRow(std::move(row));
         }
         std::printf("\n-- %s --\n%s", name.c_str(),
                     table.render().c_str());

@@ -14,6 +14,7 @@
 #include "common/math_utils.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 #include "workload/benchmarks.hh"
 
@@ -34,36 +35,26 @@ main()
         headers.push_back("gmean");
         TextTable table(headers);
 
-        std::vector<std::vector<std::string>> rows;
-        std::vector<std::vector<double>> vals(
-            comparedTechniques().size());
-        for (Technique t : comparedTechniques())
-            rows.push_back({std::string(techniqueName(t))});
+        const Sweep sweep = Sweep::cross(
+            BenchmarkSuite::benchmarkNames(), comparedTechniques(),
+            [cores](const std::string &bench) {
+                return ExperimentConfig::standard(bench).withCores(
+                    cores);
+            });
+        const SweepResults results = SweepRunner().run(sweep);
+        const SeriesMatrix perf =
+            SweepReport(sweep, results).throughputChange();
 
-        for (const std::string &bench :
-             BenchmarkSuite::benchmarkNames()) {
-            ExperimentConfig cfg = ExperimentConfig::standard(bench);
-            cfg.baselineCores = cores;
-            const RunResult base = runOnce(cfg, Technique::Linux);
-            for (std::size_t ti = 0;
-                 ti < comparedTechniques().size(); ++ti) {
-                const RunResult run =
-                    runOnce(cfg, comparedTechniques()[ti]);
-                const double perf =
-                    percentChange(base.instThroughput(),
-                                  run.instThroughput());
-                rows[ti].push_back(TextTable::pct(perf, 0));
-                vals[ti].push_back(perf);
-                std::fprintf(stderr, ".");
-            }
-            std::fprintf(stderr, " %s@%u cores done\n",
-                         bench.c_str(), cores);
-        }
-        for (std::size_t ti = 0; ti < comparedTechniques().size();
-             ++ti) {
-            rows[ti].push_back(TextTable::pct(
-                geometricMeanPercent(vals[ti]), 0));
-            table.addRow(rows[ti]);
+        for (Technique t : comparedTechniques()) {
+            const std::string tname = techniqueName(t);
+            std::vector<std::string> row = {tname};
+            for (const std::string &bench :
+                 BenchmarkSuite::benchmarkNames())
+                row.push_back(
+                    TextTable::pct(perf.get(bench, tname), 0));
+            row.push_back(TextTable::pct(
+                geometricMeanPercent(perf.column(tname)), 0));
+            table.addRow(std::move(row));
         }
         std::printf("\n-- %u cores --\n%s", cores,
                     table.render().c_str());

@@ -20,6 +20,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 #include "workload/benchmarks.hh"
 
@@ -31,13 +32,17 @@ main()
     printHeader("Figure 4: instruction breakup (%) under the Linux "
                 "baseline, 2X workload");
 
+    Sweep sweep;
+    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
+        sweep.add(bench, "Linux", ExperimentConfig::standard(bench),
+                  Technique::Linux);
+    }
+    const SweepResults results = SweepRunner().run(sweep);
+
     TextTable table({"benchmark", "application", "system call",
                      "interrupt", "bottom half"});
-
-    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
-        const ExperimentConfig cfg = ExperimentConfig::standard(bench);
-        const RunResult run = runOnce(cfg, Technique::Linux);
-        const SimMetrics &m = run.metrics;
+    for (const std::string &bench : sweep.rows()) {
+        const SimMetrics &m = results.at(bench, "Linux").metrics;
         table.addRow({
             bench,
             TextTable::num(
@@ -49,7 +54,6 @@ main()
             TextTable::num(
                 m.categoryFraction(SfCategory::BottomHalf) * 100.0),
         });
-        std::fprintf(stderr, "%s done\n", bench.c_str());
     }
 
     std::printf("%s\n", table.render().c_str());

@@ -19,6 +19,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "workload/benchmarks.hh"
 
 using namespace schedtask;
@@ -29,25 +30,10 @@ main()
     printHeader("Figure 7: change in application performance (%) "
                 "vs Linux baseline, 2X workload");
 
-    const auto &benchmarks = BenchmarkSuite::benchmarkNames();
-    std::vector<std::string> technique_names;
-    for (Technique t : comparedTechniques())
-        technique_names.push_back(techniqueName(t));
-
-    SeriesMatrix matrix(benchmarks, technique_names);
-
-    for (const std::string &bench : benchmarks) {
-        const ExperimentConfig cfg = ExperimentConfig::standard(bench);
-        const RunResult base = runOnce(cfg, Technique::Linux);
-        for (Technique t : comparedTechniques()) {
-            const RunResult run = runOnce(cfg, t);
-            matrix.set(bench, techniqueName(t),
-                       percentChange(base.appPerformance(),
-                                     run.appPerformance()));
-            std::fprintf(stderr, ".");
-        }
-        std::fprintf(stderr, " %s done\n", bench.c_str());
-    }
+    const Sweep sweep = Sweep::standardCross();
+    const SweepResults results = SweepRunner().run(sweep);
+    const SeriesMatrix matrix =
+        SweepReport(sweep, results).appPerfChange();
 
     std::printf("%s\n", matrix.renderWithGmean("benchmark").c_str());
     std::printf("Paper gmean reference: SelectiveOffload +10.6, "

@@ -21,6 +21,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "workload/benchmarks.hh"
 
 using namespace schedtask;
@@ -28,40 +29,28 @@ using namespace schedtask;
 int
 main()
 {
-    const auto &benchmarks = BenchmarkSuite::benchmarkNames();
-    std::vector<std::string> technique_names;
-    for (Technique t : comparedTechniques())
-        technique_names.push_back(techniqueName(t));
+    const Sweep sweep = Sweep::standardCross();
+    const SweepResults results = SweepRunner().run(sweep);
+    const SweepReport report(sweep, results);
 
-    SeriesMatrix throughput(benchmarks, technique_names);
-    SeriesMatrix idle(benchmarks, technique_names);
-    SeriesMatrix ihit_app(benchmarks, technique_names);
-    SeriesMatrix ihit_os(benchmarks, technique_names);
-    SeriesMatrix dhit_app(benchmarks, technique_names);
-    SeriesMatrix dhit_os(benchmarks, technique_names);
-
-    for (const std::string &bench : benchmarks) {
-        const ExperimentConfig cfg = ExperimentConfig::standard(bench);
-        const RunResult base = runOnce(cfg, Technique::Linux);
-        for (Technique t : comparedTechniques()) {
-            const RunResult run = runOnce(cfg, t);
-            const char *name = techniqueName(t);
-            throughput.set(bench, name,
-                           percentChange(base.instThroughput(),
-                                         run.instThroughput()));
-            idle.set(bench, name, run.idlePercent());
-            ihit_app.set(bench, name,
-                         pointChange(base.iHitApp, run.iHitApp));
-            ihit_os.set(bench, name,
-                        pointChange(base.iHitOs, run.iHitOs));
-            dhit_app.set(bench, name,
-                         pointChange(base.dHitApp, run.dHitApp));
-            dhit_os.set(bench, name,
-                        pointChange(base.dHitOs, run.dHitOs));
-            std::fprintf(stderr, ".");
-        }
-        std::fprintf(stderr, " %s done\n", bench.c_str());
-    }
+    const SeriesMatrix throughput = report.throughputChange();
+    const SeriesMatrix idle = report.idlePercent();
+    const SeriesMatrix ihit_app =
+        report.matrix([](const RunResult &base, const RunResult &run) {
+            return pointChange(base.iHitApp, run.iHitApp);
+        });
+    const SeriesMatrix ihit_os =
+        report.matrix([](const RunResult &base, const RunResult &run) {
+            return pointChange(base.iHitOs, run.iHitOs);
+        });
+    const SeriesMatrix dhit_app =
+        report.matrix([](const RunResult &base, const RunResult &run) {
+            return pointChange(base.dHitApp, run.dHitApp);
+        });
+    const SeriesMatrix dhit_os =
+        report.matrix([](const RunResult &base, const RunResult &run) {
+            return pointChange(base.dHitOs, run.dHitOs);
+        });
 
     printHeader("Figure 8a: change in instruction throughput (%)");
     std::printf("%s", throughput.renderWithGmean("benchmark").c_str());

@@ -20,6 +20,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "workload/benchmarks.hh"
 
 using namespace schedtask;
@@ -34,30 +35,26 @@ main()
         {StealPolicy::BusiestFirst, "Steal busiest"},
     };
 
-    std::vector<std::string> cols;
-    for (const auto &[policy, name] : policies)
-        cols.push_back(name);
-
-    SeriesMatrix throughput(BenchmarkSuite::benchmarkNames(), cols);
-    SeriesMatrix idle(BenchmarkSuite::benchmarkNames(), cols);
-    SeriesMatrix ihit(BenchmarkSuite::benchmarkNames(), cols);
-
+    // One Linux baseline per benchmark, shared by all four policy
+    // variants (the steal policy is invisible to the baseline).
+    Sweep sweep;
     for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
-        ExperimentConfig cfg = ExperimentConfig::standard(bench);
-        const RunResult base = runOnce(cfg, Technique::Linux);
         for (const auto &[policy, name] : policies) {
-            cfg.schedTask.stealPolicy = policy;
-            const RunResult run = runOnce(cfg, Technique::SchedTask);
-            throughput.set(bench, name,
-                           percentChange(base.instThroughput(),
-                                         run.instThroughput()));
-            idle.set(bench, name, run.idlePercent());
-            ihit.set(bench, name,
-                     pointChange(base.iHitAll, run.iHitAll));
-            std::fprintf(stderr, ".");
+            sweep.addComparison(
+                bench, name,
+                ExperimentConfig::standard(bench).withSteal(policy),
+                Technique::SchedTask);
         }
-        std::fprintf(stderr, " %s done\n", bench.c_str());
     }
+    const SweepResults results = SweepRunner().run(sweep);
+    const SweepReport report(sweep, results);
+
+    const SeriesMatrix throughput = report.throughputChange();
+    const SeriesMatrix idle = report.idlePercent();
+    const SeriesMatrix ihit =
+        report.matrix([](const RunResult &base, const RunResult &run) {
+            return pointChange(base.iHitAll, run.iHitAll);
+        });
 
     printHeader("Figure 9a: change in instruction throughput (%) "
                 "by stealing strategy");

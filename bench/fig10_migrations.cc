@@ -14,6 +14,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 #include "workload/benchmarks.hh"
 
@@ -25,25 +26,13 @@ main()
     printHeader("Figure 10: inter-core thread migrations per 1e9 "
                 "instructions, 2X workload");
 
-    std::vector<std::string> cols = {"Baseline"};
-    for (Technique t : comparedTechniques())
-        cols.push_back(techniqueName(t));
-
-    SeriesMatrix matrix(BenchmarkSuite::benchmarkNames(), cols);
-
-    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
-        const ExperimentConfig cfg = ExperimentConfig::standard(bench);
-        const RunResult base = runOnce(cfg, Technique::Linux);
-        matrix.set(bench, "Baseline",
-                   base.migrationsPerBillionInsts());
-        for (Technique t : comparedTechniques()) {
-            const RunResult run = runOnce(cfg, t);
-            matrix.set(bench, techniqueName(t),
-                       run.migrationsPerBillionInsts());
-            std::fprintf(stderr, ".");
-        }
-        std::fprintf(stderr, " %s done\n", bench.c_str());
-    }
+    const Sweep sweep = Sweep::standardCross();
+    const SweepResults results = SweepRunner().run(sweep);
+    const SeriesMatrix matrix =
+        SweepReport(sweep, results)
+            .withBaselineColumn("Baseline", [](const RunResult &run) {
+                return run.migrationsPerBillionInsts();
+            });
 
     std::printf("%s\n", matrix.render("benchmark", 0).c_str());
     return 0;

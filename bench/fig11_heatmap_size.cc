@@ -22,6 +22,7 @@
 #include "core/schedtask_sched.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "sim/machine.hh"
 #include "stats/table.hh"
 #include "workload/benchmarks.hh"
@@ -102,57 +103,56 @@ main()
     printHeader("Figure 11: Kendall rank correlation of the "
                 "Bloom-filter overlap ranking vs the exact ranking");
 
+    const auto &benchmarks = BenchmarkSuite::benchmarkNames();
     std::vector<std::string> cols;
     for (unsigned b : widths)
         cols.push_back(std::to_string(b) + " bits");
-    SeriesMatrix tau(BenchmarkSuite::benchmarkNames(), cols);
+    SeriesMatrix tau(benchmarks, cols);
 
-    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
-        for (unsigned b : widths) {
-            tau.set(bench, std::to_string(b) + " bits",
-                    rankingQuality(bench, b));
-            std::fprintf(stderr, ".");
-        }
-        std::fprintf(stderr, " %s done\n", bench.c_str());
-    }
+    // The tau study drives Machine by hand (it needs the stats table
+    // and the exact page sets mid-run), so it parallelizes over the
+    // benchmark x width grid rather than through a Sweep.
+    parallelFor(benchmarks.size() * widths.size(),
+                [&](std::size_t i) {
+                    const std::string &bench =
+                        benchmarks[i / widths.size()];
+                    const unsigned b = widths[i % widths.size()];
+                    tau.set(bench, std::to_string(b) + " bits",
+                            rankingQuality(bench, b));
+                    std::fprintf(stderr, ".");
+                });
+    std::fprintf(stderr, " tau grid done\n");
     std::printf("%s\n", tau.render("benchmark", 2).c_str());
 
     printHeader("Section 6.5: mean SchedTask throughput benefit (%) "
                 "per register width (gmean over benchmarks)");
+
+    // One sweep over benchmark x {widths, ideal}. The Linux baseline
+    // does not consult the heatmap, so each benchmark's baseline
+    // deduplicates to a single run shared by every column.
+    Sweep sweep;
+    std::vector<std::string> perf_cols = cols;
+    perf_cols.push_back("ideal ranking");
+    for (const std::string &bench : benchmarks) {
+        for (unsigned b : widths)
+            sweep.addComparison(
+                bench, std::to_string(b) + " bits",
+                ExperimentConfig::standard(bench).withHeatmapBits(b),
+                Technique::SchedTask);
+        // Ideal ranking: exact footprint overlap, no Bloom filter.
+        sweep.addComparison(
+            bench, "ideal ranking",
+            ExperimentConfig::standard(bench).withExactOverlap(),
+            Technique::SchedTask);
+    }
+    const SweepResults results = SweepRunner().run(sweep);
+    const SeriesMatrix gains =
+        SweepReport(sweep, results).throughputChange();
+
     TextTable perf({"configuration", "gmean benefit (%)"});
-    for (unsigned b : widths) {
-        std::vector<double> gains;
-        for (const std::string &bench :
-             BenchmarkSuite::benchmarkNames()) {
-            ExperimentConfig cfg = ExperimentConfig::standard(bench);
-            cfg.machine.heatmapBits = b;
-            const RunResult base = runOnce(cfg, Technique::Linux);
-            const RunResult run = runOnce(cfg, Technique::SchedTask);
-            gains.push_back(percentChange(base.instThroughput(),
-                                          run.instThroughput()));
-            std::fprintf(stderr, ".");
-        }
-        perf.addRow({std::to_string(b) + " bits",
-                     TextTable::pct(geometricMeanPercent(gains))});
-        std::fprintf(stderr, " %u bits done\n", b);
-    }
-    // Ideal ranking: exact footprint overlap, no Bloom filter.
-    {
-        std::vector<double> gains;
-        for (const std::string &bench :
-             BenchmarkSuite::benchmarkNames()) {
-            ExperimentConfig cfg = ExperimentConfig::standard(bench);
-            cfg.schedTask.useExactOverlap = true;
-            const RunResult base = runOnce(cfg, Technique::Linux);
-            const RunResult run = runOnce(cfg, Technique::SchedTask);
-            gains.push_back(percentChange(base.instThroughput(),
-                                          run.instThroughput()));
-            std::fprintf(stderr, ".");
-        }
-        perf.addRow({"ideal ranking",
-                     TextTable::pct(geometricMeanPercent(gains))});
-        std::fprintf(stderr, " ideal done\n");
-    }
+    for (const std::string &col : perf_cols)
+        perf.addRow({col, TextTable::pct(geometricMeanPercent(
+                              gains.column(col)))});
     std::printf("%s\n", perf.render().c_str());
     std::printf("Paper: 128b +15.9, 256b +19.4, 512b +22.8, "
                 "1024b +22.6, 2048b +22.7, ideal +25.0\n");

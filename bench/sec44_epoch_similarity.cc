@@ -14,6 +14,7 @@
 #include "common/math_utils.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "sched/linux_sched.hh"
 #include "sim/machine.hh"
 #include "stats/table.hh"
@@ -61,7 +62,13 @@ main()
     TextTable table({"benchmark", "e1-2", "e2-3", "e3-4", "e4-5",
                      "e5-6", "e6-7", "e7-8", "e8-9", "e9-10"});
 
-    for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
+    // The similarity study needs the per-epoch breakup series, so it
+    // drives Machine by hand; parallelFor spreads the benchmarks
+    // over worker threads and the rows land in suite order.
+    const auto &benchmarks = BenchmarkSuite::benchmarkNames();
+    std::vector<std::vector<std::string>> rows(benchmarks.size());
+    parallelFor(benchmarks.size(), [&](std::size_t i) {
+        const std::string &bench = benchmarks[i];
         BenchmarkSuite suite;
         Workload workload =
             Workload::buildSingle(suite, bench, 2.0, 32);
@@ -82,9 +89,11 @@ main()
                           epochSimilarity(series[e], series[e + 1]), 3)
                     : "-");
         }
-        table.addRow(std::move(cells));
+        rows[i] = std::move(cells);
         std::fprintf(stderr, "%s done\n", bench.c_str());
-    }
+    });
+    for (std::vector<std::string> &cells : rows)
+        table.addRow(std::move(cells));
 
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper: similarity rises through bring-up and "

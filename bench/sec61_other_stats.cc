@@ -18,6 +18,7 @@
 #include "common/math_utils.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 #include "workload/benchmarks.hh"
 
@@ -29,14 +30,21 @@ main()
     printHeader("Section 6.1 other statistics (2X workload, "
                 "aggregated over the 8 benchmarks)");
 
+    Sweep sweep;
+    for (const std::string &bench : BenchmarkSuite::benchmarkNames())
+        sweep.addComparison(bench, "SchedTask",
+                            ExperimentConfig::standard(bench),
+                            Technique::SchedTask);
+    const SweepResults results = SweepRunner().run(sweep);
+    const SweepReport report(sweep, results);
+
     std::vector<double> overhead_frac, itlb_delta, dtlb_delta;
     std::vector<double> irq_latency_change, fairness;
     std::vector<double> irq_latency_base, irq_latency_st;
 
     for (const std::string &bench : BenchmarkSuite::benchmarkNames()) {
-        const ExperimentConfig cfg = ExperimentConfig::standard(bench);
-        const RunResult base = runOnce(cfg, Technique::Linux);
-        const RunResult st = runOnce(cfg, Technique::SchedTask);
+        const RunResult &base = report.baselineOf(bench);
+        const RunResult &st = report.run(bench, "SchedTask");
 
         overhead_frac.push_back(
             100.0 * static_cast<double>(st.metrics.overheadInsts)
@@ -54,7 +62,6 @@ main()
         for (std::uint64_t v : st.metrics.perThreadInsts)
             per_thread.push_back(static_cast<double>(v));
         fairness.push_back(jainFairness(per_thread));
-        std::fprintf(stderr, "%s done\n", bench.c_str());
     }
 
     TextTable table({"statistic", "measured (mean)", "paper"});

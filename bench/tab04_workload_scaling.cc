@@ -16,6 +16,7 @@
 #include "common/math_utils.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 #include "workload/benchmarks.hh"
 
@@ -37,44 +38,32 @@ main()
         headers.push_back("gmean");
         TextTable table(headers);
 
-        // One row pair (Idle / Perf) per technique, paper layout.
-        std::vector<std::vector<std::string>> idle_rows, perf_rows;
-        for (Technique t : comparedTechniques()) {
-            idle_rows.push_back(
-                {std::string(techniqueName(t)) + " Idle"});
-            perf_rows.push_back(
-                {std::string(techniqueName(t)) + " Perf"});
-        }
-        std::vector<std::vector<double>> perf_vals(
-            comparedTechniques().size());
+        const Sweep sweep = Sweep::cross(
+            benchmarks, comparedTechniques(),
+            [scale](const std::string &bench) {
+                return ExperimentConfig::standard(bench, scale);
+            });
+        const SweepResults results = SweepRunner().run(sweep);
+        const SweepReport report(sweep, results);
+        const SeriesMatrix idle = report.idlePercent();
+        const SeriesMatrix perf = report.throughputChange();
 
-        for (const std::string &bench : benchmarks) {
-            ExperimentConfig cfg =
-                ExperimentConfig::standard(bench, scale);
-            const RunResult base = runOnce(cfg, Technique::Linux);
-            for (std::size_t ti = 0;
-                 ti < comparedTechniques().size(); ++ti) {
-                const RunResult run =
-                    runOnce(cfg, comparedTechniques()[ti]);
-                idle_rows[ti].push_back(
-                    TextTable::num(run.idlePercent(), 0));
-                const double perf =
-                    percentChange(base.instThroughput(),
-                                  run.instThroughput());
-                perf_rows[ti].push_back(TextTable::pct(perf, 0));
-                perf_vals[ti].push_back(perf);
-                std::fprintf(stderr, ".");
+        // One row pair (Idle / Perf) per technique, paper layout.
+        for (Technique t : comparedTechniques()) {
+            const std::string name = techniqueName(t);
+            std::vector<std::string> idle_row = {name + " Idle"};
+            std::vector<std::string> perf_row = {name + " Perf"};
+            for (const std::string &bench : benchmarks) {
+                idle_row.push_back(
+                    TextTable::num(idle.get(bench, name), 0));
+                perf_row.push_back(
+                    TextTable::pct(perf.get(bench, name), 0));
             }
-            std::fprintf(stderr, " %s@%gX done\n", bench.c_str(),
-                         scale);
-        }
-        for (std::size_t ti = 0; ti < comparedTechniques().size();
-             ++ti) {
-            idle_rows[ti].push_back("-");
-            perf_rows[ti].push_back(TextTable::pct(
-                geometricMeanPercent(perf_vals[ti]), 0));
-            table.addRow(idle_rows[ti]);
-            table.addRow(perf_rows[ti]);
+            idle_row.push_back("-");
+            perf_row.push_back(TextTable::pct(
+                geometricMeanPercent(perf.column(name)), 0));
+            table.addRow(idle_row);
+            table.addRow(perf_row);
         }
 
         std::printf("\n-- workload %gX --\n%s", scale,

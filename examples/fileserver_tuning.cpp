@@ -14,6 +14,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 
 using namespace schedtask;
@@ -25,43 +26,58 @@ main(int argc, char **argv)
 
     printHeader("SchedTask tuning on " + bench + " (2X workload)");
 
+    // One sweep: every tuning variant is addVersus'd against the
+    // one unmodified-config Linux baseline, so the whole study runs
+    // concurrently and the baseline simulates exactly once.
     const ExperimentConfig base_cfg =
         ExperimentConfig::standard(bench);
-    const RunResult base = runOnce(base_cfg, Technique::Linux);
+    const std::vector<Cycles> epochs = {100000u, 250000u, 500000u};
+    const std::vector<unsigned> widths = {128u, 256u, 512u, 1024u,
+                                          2048u};
+
+    Sweep sweep;
+    for (Cycles epoch : epochs)
+        sweep.addVersus(bench, "epoch " + std::to_string(epoch),
+                        ExperimentConfig::standard(bench)
+                            .withEpochCycles(epoch),
+                        Technique::SchedTask, base_cfg);
+    for (unsigned bits : widths)
+        sweep.addVersus(bench, std::to_string(bits) + " bits",
+                        ExperimentConfig::standard(bench)
+                            .withHeatmapBits(bits),
+                        Technique::SchedTask, base_cfg);
+    const SweepResults results = SweepRunner().run(sweep);
+    const SweepReport report(sweep, results);
+
+    const RunResult &base = report.baselineOf(bench);
     std::printf("Linux baseline: %.2f Ginsts/s, %.1f%% idle\n\n",
                 base.instThroughput() / 1e9, base.idlePercent());
+
+    auto addRow = [&](TextTable &table, const std::string &label,
+                      const std::string &col) {
+        const RunResult &run = report.run(bench, col);
+        table.addRow({label,
+                      TextTable::pct(percentChange(
+                          base.instThroughput(),
+                          run.instThroughput())) + " %",
+                      TextTable::num(run.idlePercent())});
+    };
 
     {
         printHeader("Epoch length sweep (cycles)");
         TextTable table({"epoch", "throughput vs Linux", "idle (%)"});
-        for (Cycles epoch : {100000u, 250000u, 500000u}) {
-            ExperimentConfig cfg = base_cfg;
-            cfg.machine.epochCycles = epoch;
-            const RunResult run = runOnce(cfg, Technique::SchedTask);
-            table.addRow({std::to_string(epoch),
-                          TextTable::pct(percentChange(
-                              base.instThroughput(),
-                              run.instThroughput())) + " %",
-                          TextTable::num(run.idlePercent())});
-            std::fprintf(stderr, "epoch %u done\n", (unsigned)epoch);
-        }
+        for (Cycles epoch : epochs)
+            addRow(table, std::to_string(epoch),
+                   "epoch " + std::to_string(epoch));
         std::printf("%s\n", table.render().c_str());
     }
 
     {
         printHeader("Page-heatmap register width sweep (bits)");
         TextTable table({"width", "throughput vs Linux", "idle (%)"});
-        for (unsigned bits : {128u, 256u, 512u, 1024u, 2048u}) {
-            ExperimentConfig cfg = base_cfg;
-            cfg.machine.heatmapBits = bits;
-            const RunResult run = runOnce(cfg, Technique::SchedTask);
-            table.addRow({std::to_string(bits),
-                          TextTable::pct(percentChange(
-                              base.instThroughput(),
-                              run.instThroughput())) + " %",
-                          TextTable::num(run.idlePercent())});
-            std::fprintf(stderr, "%u bits done\n", bits);
-        }
+        for (unsigned bits : widths)
+            addRow(table, std::to_string(bits),
+                   std::to_string(bits) + " bits");
         std::printf("%s\n", table.render().c_str());
         std::printf("Paper: 512 bits is the sweet spot; wider "
                     "registers buy nothing (Section 6.5).\n");

@@ -31,10 +31,12 @@ main(int argc, char **argv)
     const ExperimentConfig cfg =
         ExperimentConfig::standard(benchmark, scale);
 
-    std::printf("running Linux baseline...\n");
-    const RunResult base = runOnce(cfg, Technique::Linux);
-    std::printf("running SchedTask...\n");
-    const RunResult st = runOnce(cfg, Technique::SchedTask);
+    // compare() runs the Linux baseline and SchedTask on two worker
+    // threads (SCHEDTASK_JOBS permitting), same workload streams.
+    std::printf("running Linux baseline and SchedTask...\n");
+    const Comparison cmp = compare(cfg, Technique::SchedTask);
+    const RunResult &base = cmp.baseline;
+    const RunResult &st = cmp.technique;
 
     TextTable table({"metric", "Linux", "SchedTask", "change"});
     auto row = [&](const char *name, double b, double v,

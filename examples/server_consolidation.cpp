@@ -15,6 +15,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 
 using namespace schedtask;
@@ -30,13 +31,20 @@ main(int argc, char **argv)
         std::printf(" %s@%.1fX", part.benchmark.c_str(), part.scale);
     std::printf("\n\n");
 
+    // One sweep: the five techniques plus a single deduplicated
+    // Linux baseline, spread over worker threads.
     const ExperimentConfig cfg = ExperimentConfig::standardBag(bag);
-    const RunResult base = runOnce(cfg, Technique::Linux);
+    Sweep sweep;
+    for (Technique t : comparedTechniques())
+        sweep.addComparison(bag, techniqueName(t), cfg, t);
+    const SweepResults results = SweepRunner().run(sweep);
+    const SweepReport report(sweep, results);
+    const RunResult &base = report.baselineOf(bag);
 
     TextTable table({"technique", "throughput vs Linux", "idle (%)",
                      "per-tenant insts change"});
     for (Technique t : comparedTechniques()) {
-        const RunResult run = runOnce(cfg, t);
+        const RunResult &run = report.run(bag, techniqueName(t));
         std::string tenants;
         for (std::size_t p = 0; p < run.metrics.instsByPart.size();
              ++p) {
@@ -51,7 +59,6 @@ main(int argc, char **argv)
                           base.instThroughput(),
                           run.instThroughput())) + " %",
                       TextTable::num(run.idlePercent()), tenants});
-        std::fprintf(stderr, "%s done\n", techniqueName(t));
     }
 
     std::printf("\n%s\n", table.render().c_str());

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -9,7 +10,9 @@ namespace schedtask
 
 namespace
 {
-bool logQuiet = false;
+// Atomic so concurrent sweep workers can log while a test toggles
+// quiet mode; fprintf itself is thread-safe per POSIX.
+std::atomic<bool> logQuiet{false};
 }
 
 void

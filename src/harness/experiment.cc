@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "harness/sweep.hh"
 #include "sched/disagg_os.hh"
 #include "sched/flexsc.hh"
 #include "sched/linux_sched.hh"
@@ -139,6 +140,8 @@ runWithScheduler(const ExperimentConfig &config, Scheduler &scheduler)
     RunResult result;
     result.metrics = machine.metricsSnapshot();
     result.numCores = mp.numCores;
+    result.numThreads =
+        static_cast<unsigned>(machine.threads().size());
     result.freqGhz = mp.coreFrequencyGHz;
     const MemHierarchy &hier = machine.hierarchy();
     result.iHitApp = hier.iCounts(ExecClass::App).hitRate();
@@ -154,9 +157,14 @@ runWithScheduler(const ExperimentConfig &config, Scheduler &scheduler)
 RunResult
 runOnce(const ExperimentConfig &config, Technique technique)
 {
-    std::unique_ptr<Scheduler> scheduler =
-        makeScheduler(technique, config.schedTask);
-    return runWithScheduler(config, *scheduler);
+    Sweep sweep;
+    sweep.deriveSeeds(false);
+    sweep.add("run", techniqueName(technique), config, technique);
+    SweepOptions options;
+    options.jobs = 1;
+    options.progress = false;
+    return SweepRunner(options).run(sweep).at(
+        "run", techniqueName(technique));
 }
 
 double
@@ -176,9 +184,17 @@ pointChange(double base_rate, double rate)
 Comparison
 compare(const ExperimentConfig &config, Technique technique)
 {
+    Sweep sweep;
+    sweep.deriveSeeds(false);
+    sweep.addComparison("run", techniqueName(technique), config,
+                        technique);
+    SweepOptions options;
+    options.progress = false;
+    const SweepResults results = SweepRunner(options).run(sweep);
+
     Comparison cmp;
-    cmp.baseline = runOnce(config, Technique::Linux);
-    cmp.technique = runOnce(config, technique);
+    cmp.baseline = results.at(baselineLabelFor("run", config));
+    cmp.technique = results.at("run", techniqueName(technique));
     return cmp;
 }
 

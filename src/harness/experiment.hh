@@ -83,6 +83,112 @@ struct ExperimentConfig
 
     /** Standard configuration for a multi-programmed bag. */
     static ExperimentConfig standardBag(const std::string &bag);
+
+    /**
+     * Fluent modifiers, so call sites can derive a variant in one
+     * expression — `ExperimentConfig::standard("Apache")
+     * .withCores(16).withSteal(StealPolicy::None)` — instead of
+     * mutating fields ad hoc. Aggregate initialization and direct
+     * field access keep working.
+     */
+    ExperimentConfig &
+    withCores(unsigned cores)
+    {
+        baselineCores = cores;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withEpochs(unsigned warmup, unsigned measure)
+    {
+        warmupEpochs = warmup;
+        measureEpochs = measure;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withEpochCycles(Cycles cycles)
+    {
+        machine.epochCycles = cycles;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withHeatmapBits(unsigned bits)
+    {
+        machine.heatmapBits = bits;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withSeed(std::uint64_t seed)
+    {
+        machine.seed = seed;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withHierarchy(const HierarchyParams &params)
+    {
+        hierarchy = params;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withL1ISize(std::uint64_t bytes)
+    {
+        hierarchy.l1i.sizeBytes = bytes;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withSchedTask(const SchedTaskParams &params)
+    {
+        schedTask = params;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withSteal(StealPolicy policy)
+    {
+        schedTask.stealPolicy = policy;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withRouteInterrupts(bool route)
+    {
+        schedTask.routeInterrupts = route;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withDemandSmoothing(double weight)
+    {
+        schedTask.demandSmoothing = weight;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withExactOverlap(bool exact = true)
+    {
+        schedTask.useExactOverlap = exact;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withCgpPrefetcher(bool enabled = true)
+    {
+        useCgpPrefetcher = enabled;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withTraceCache(bool enabled = true)
+    {
+        useTraceCache = enabled;
+        return *this;
+    }
 };
 
 /** Result of one run, with hierarchy-derived rates attached. */
@@ -90,6 +196,7 @@ struct RunResult
 {
     SimMetrics metrics;
     unsigned numCores = 0;
+    unsigned numThreads = 0;
     double freqGhz = 2.0;
 
     double iHitApp = 1.0;
@@ -119,7 +226,12 @@ struct RunResult
     double migrationsPerBillionInsts() const;
 };
 
-/** Run one technique on one configuration. */
+/**
+ * Run one technique on one configuration. A thin wrapper over the
+ * sweep API (harness/sweep.hh) that executes a single-run Sweep on
+ * the calling thread; the master seed is taken verbatim from
+ * config.machine.seed.
+ */
 RunResult runOnce(const ExperimentConfig &config, Technique technique);
 
 /** Run with a caller-provided scheduler (custom schedulers). */
@@ -176,7 +288,12 @@ struct Comparison
     }
 };
 
-/** Run baseline and technique on the same configuration. */
+/**
+ * Run baseline and technique on the same configuration — a thin
+ * wrapper over the sweep API that runs the pair on up to two worker
+ * threads (SCHEDTASK_JOBS permitting), with identical workload
+ * streams for both runs.
+ */
 Comparison compare(const ExperimentConfig &config, Technique technique);
 
 } // namespace schedtask

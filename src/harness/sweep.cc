@@ -1,0 +1,493 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+std::uint64_t
+stableHash64(std::string_view text)
+{
+    // FNV-1a, 64-bit.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+namespace
+{
+
+/** SplitMix64 finalizer, for avalanche on combined hashes. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Incremental fingerprint accumulator over config fields. */
+class Fingerprint
+{
+  public:
+    void
+    mixBits(std::uint64_t v)
+    {
+        h_ = mix64(h_ ^ v);
+    }
+
+    void
+    mixDouble(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        mixBits(bits);
+    }
+
+    void
+    mixString(std::string_view s)
+    {
+        mixBits(stableHash64(s));
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0x5eedf00d;
+};
+
+void
+mixCache(Fingerprint &fp, const CacheParams &c)
+{
+    fp.mixBits(c.sizeBytes);
+    fp.mixBits(c.assoc);
+    fp.mixBits(c.blockBytes);
+    fp.mixBits(c.latency);
+    fp.mixBits(static_cast<std::uint64_t>(c.replacement));
+}
+
+void
+mixTlb(Fingerprint &fp, const TlbParams &t)
+{
+    fp.mixBits(t.entries);
+    fp.mixBits(t.assoc);
+    fp.mixBits(t.missPenalty);
+}
+
+} // namespace
+
+std::uint64_t
+baselineFingerprint(const ExperimentConfig &config)
+{
+    Fingerprint fp;
+    for (const WorkloadPart &part : config.parts) {
+        fp.mixString(part.benchmark);
+        fp.mixDouble(part.scale);
+    }
+    fp.mixBits(config.baselineCores);
+    fp.mixBits(config.warmupEpochs);
+    fp.mixBits(config.measureEpochs);
+    fp.mixBits(config.useCgpPrefetcher ? 1 : 0);
+    fp.mixBits(config.useTraceCache ? 1 : 0);
+
+    const MachineParams &m = config.machine;
+    fp.mixBits(m.quantum);
+    fp.mixBits(m.epochCycles);
+    fp.mixBits(m.timesliceInsts);
+    fp.mixBits(m.blockBaseCycles);
+    fp.mixDouble(m.dataAccessesPerBlock);
+    fp.mixDouble(m.coreFrequencyGHz);
+    fp.mixBits(m.seed);
+    fp.mixBits(m.recordEpochBreakups ? 1 : 0);
+    fp.mixBits(m.irqEntryCycles);
+    fp.mixBits(m.midSfCheckBlocks);
+    fp.mixBits(m.trackExactPages ? 1 : 0);
+    // machine.heatmapBits and config.schedTask are deliberately
+    // omitted: a Linux run cannot observe them.
+
+    const HierarchyParams &h = config.hierarchy;
+    mixCache(fp, h.l1i);
+    mixCache(fp, h.l1d);
+    fp.mixBits(h.hasPrivateL2 ? 1 : 0);
+    mixCache(fp, h.l2);
+    mixCache(fp, h.llc);
+    fp.mixBits(h.memLatency);
+    fp.mixBits(h.frontendBubbleCycles);
+    fp.mixBits(h.remoteFillLatency);
+    fp.mixDouble(h.dataHideFactor);
+    mixTlb(fp, h.itlb);
+    mixTlb(fp, h.dtlb);
+    fp.mixDouble(h.dtlbHideFactor);
+    return fp.value();
+}
+
+std::string
+baselineLabelFor(const std::string &row, const ExperimentConfig &config)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      baselineFingerprint(config)));
+    return row + "/__baseline@" + buf;
+}
+
+std::uint64_t
+runSeed(const RunRequest &request)
+{
+    if (!request.deriveSeed)
+        return request.config.machine.seed;
+    return mix64(request.config.machine.seed
+                 ^ stableHash64(request.row));
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("SCHEDTASK_JOBS");
+        env != nullptr && env[0] != '\0') {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n > 256 ? 256 : n);
+        warn("ignoring invalid SCHEDTASK_JOBS value '", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+Sweep &
+Sweep::deriveSeeds(bool derive)
+{
+    deriveSeeds_ = derive;
+    return *this;
+}
+
+void
+Sweep::noteRowCol(const std::string &row, const std::string &col)
+{
+    if (std::find(rows_.begin(), rows_.end(), row) == rows_.end())
+        rows_.push_back(row);
+    if (std::find(cols_.begin(), cols_.end(), col) == cols_.end())
+        cols_.push_back(col);
+}
+
+Sweep &
+Sweep::add(const std::string &row, const std::string &col,
+           ExperimentConfig config, Technique technique)
+{
+    noteRowCol(row, col);
+    RunRequest req;
+    req.row = row;
+    req.col = col;
+    req.config = std::move(config);
+    req.technique = technique;
+    req.deriveSeed = deriveSeeds_;
+    requests_.push_back(std::move(req));
+    return *this;
+}
+
+Sweep &
+Sweep::addBaseline(const std::string &row,
+                   const ExperimentConfig &config)
+{
+    const std::string label = baselineLabelFor(row, config);
+    if (baselineIndex_.count(label) != 0)
+        return *this;
+    RunRequest req;
+    req.row = row;
+    req.col = label.substr(row.size() + 1);
+    req.config = config;
+    req.technique = Technique::Linux;
+    req.deriveSeed = deriveSeeds_;
+    req.isBaseline = true;
+    baselineIndex_.emplace(label, requests_.size());
+    requests_.push_back(std::move(req));
+    return *this;
+}
+
+Sweep &
+Sweep::addComparison(const std::string &row, const std::string &col,
+                     ExperimentConfig config, Technique technique)
+{
+    const ExperimentConfig baseline_config = config;
+    return addVersus(row, col, std::move(config), technique,
+                     baseline_config);
+}
+
+Sweep &
+Sweep::addVersus(const std::string &row, const std::string &col,
+                 ExperimentConfig config, Technique technique,
+                 const ExperimentConfig &baseline_config)
+{
+    addBaseline(row, baseline_config);
+    add(row, col, std::move(config), technique);
+    requests_.back().baselineLabel =
+        baselineLabelFor(row, baseline_config);
+    return *this;
+}
+
+Sweep
+Sweep::cross(const std::vector<std::string> &rows,
+             const std::vector<Technique> &techniques,
+             const std::function<ExperimentConfig(const std::string &)>
+                 &make)
+{
+    Sweep sweep;
+    for (const std::string &row : rows) {
+        const ExperimentConfig cfg = make(row);
+        for (Technique t : techniques)
+            sweep.addComparison(row, techniqueName(t), cfg, t);
+    }
+    return sweep;
+}
+
+Sweep
+Sweep::standardCross()
+{
+    return cross(BenchmarkSuite::benchmarkNames(),
+                 comparedTechniques(), [](const std::string &bench) {
+                     return ExperimentConfig::standard(bench);
+                 });
+}
+
+std::string
+Sweep::firstBaselineLabel(const std::string &row) const
+{
+    std::size_t best = requests_.size();
+    std::string label;
+    for (const auto &[name, index] : baselineIndex_) {
+        if (requests_[index].row == row && index < best) {
+            best = index;
+            label = name;
+        }
+    }
+    return label;
+}
+
+bool
+SweepResults::has(const std::string &label) const
+{
+    return results_.count(label) != 0;
+}
+
+const RunResult &
+SweepResults::at(const std::string &label) const
+{
+    auto it = results_.find(label);
+    if (it == results_.end())
+        SCHEDTASK_FATAL("no sweep result labelled '" + label + "'");
+    return it->second;
+}
+
+const RunResult &
+SweepResults::at(const std::string &row, const std::string &col) const
+{
+    return at(row + "/" + col);
+}
+
+SweepResults
+SweepRunner::run(const Sweep &sweep) const
+{
+    const std::vector<RunRequest> &requests = sweep.requests();
+    SweepResults results;
+    if (requests.empty())
+        return results;
+
+    unsigned jobs = options_.jobs == 0 ? defaultJobs() : options_.jobs;
+    if (jobs > requests.size())
+        jobs = static_cast<unsigned>(requests.size());
+
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;
+    std::mutex mutex; // results, progress counter, error
+    std::string error;
+    const auto start = std::chrono::steady_clock::now();
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= requests.size())
+                return;
+            const RunRequest &req = requests[i];
+            try {
+                ExperimentConfig cfg = req.config;
+                cfg.machine.seed = runSeed(req);
+                const std::unique_ptr<Scheduler> scheduler =
+                    makeScheduler(req.technique, cfg.schedTask);
+                const RunResult result =
+                    runWithScheduler(cfg, *scheduler);
+
+                std::lock_guard<std::mutex> lock(mutex);
+                results.results_.emplace(req.label(), result);
+                ++done;
+                if (options_.progress) {
+                    const double secs =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                    std::fprintf(stderr,
+                                 "[sweep %zu/%zu] %s done (%.1fs)\n",
+                                 done, requests.size(),
+                                 req.label().c_str(), secs);
+                }
+                if (options_.onRunDone)
+                    options_.onRunDone(req, result);
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (error.empty())
+                    error = req.label() + ": " + e.what();
+            }
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (!error.empty())
+        SCHEDTASK_FATAL("sweep run failed: " + error);
+    return results;
+}
+
+void
+parallelFor(std::size_t count,
+            const std::function<void(std::size_t)> &fn, unsigned jobs)
+{
+    if (count == 0)
+        return;
+    unsigned workers = jobs == 0 ? defaultJobs() : jobs;
+    if (workers > count)
+        workers = static_cast<unsigned>(count);
+
+    std::atomic<std::size_t> next{0};
+    auto body = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            fn(i);
+        }
+    };
+    if (workers <= 1) {
+        body();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(body);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+SeriesMatrix
+SweepReport::matrix(const ChangeFn &fn) const
+{
+    SeriesMatrix m(sweep_.rows(), sweep_.cols());
+    for (const RunRequest &req : sweep_.requests()) {
+        if (req.isBaseline)
+            continue;
+        if (req.baselineLabel.empty()) {
+            SCHEDTASK_FATAL("sweep run '" + req.label()
+                            + "' has no baseline to compare against");
+        }
+        m.set(req.row, req.col,
+              fn(results_.at(req.baselineLabel),
+                 results_.at(req.label())));
+    }
+    return m;
+}
+
+SeriesMatrix
+SweepReport::matrixAbsolute(const ValueFn &fn) const
+{
+    SeriesMatrix m(sweep_.rows(), sweep_.cols());
+    for (const RunRequest &req : sweep_.requests()) {
+        if (req.isBaseline)
+            continue;
+        m.set(req.row, req.col, fn(results_.at(req.label())));
+    }
+    return m;
+}
+
+SeriesMatrix
+SweepReport::withBaselineColumn(const std::string &baseline_col,
+                                const ValueFn &fn) const
+{
+    std::vector<std::string> cols;
+    cols.push_back(baseline_col);
+    for (const std::string &col : sweep_.cols())
+        cols.push_back(col);
+
+    SeriesMatrix m(sweep_.rows(), cols);
+    for (const std::string &row : sweep_.rows())
+        m.set(row, baseline_col, fn(baselineOf(row)));
+    for (const RunRequest &req : sweep_.requests()) {
+        if (req.isBaseline)
+            continue;
+        m.set(req.row, req.col, fn(results_.at(req.label())));
+    }
+    return m;
+}
+
+SeriesMatrix
+SweepReport::appPerfChange() const
+{
+    return matrix([](const RunResult &base, const RunResult &run) {
+        return percentChange(base.appPerformance(),
+                             run.appPerformance());
+    });
+}
+
+SeriesMatrix
+SweepReport::throughputChange() const
+{
+    return matrix([](const RunResult &base, const RunResult &run) {
+        return percentChange(base.instThroughput(),
+                             run.instThroughput());
+    });
+}
+
+SeriesMatrix
+SweepReport::idlePercent() const
+{
+    return matrixAbsolute(
+        [](const RunResult &run) { return run.idlePercent(); });
+}
+
+const RunResult &
+SweepReport::run(const std::string &row, const std::string &col) const
+{
+    return results_.at(row, col);
+}
+
+const RunResult &
+SweepReport::baselineOf(const std::string &row) const
+{
+    const std::string label = sweep_.firstBaselineLabel(row);
+    if (label.empty())
+        SCHEDTASK_FATAL("sweep row '" + row + "' has no baseline");
+    return results_.at(label);
+}
+
+} // namespace schedtask

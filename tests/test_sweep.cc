@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: deterministic per-run
+ * seeding, baseline deduplication, and bitwise-identical results
+ * regardless of the worker-thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+/** A cheap configuration so the thread-pool tests stay fast. */
+ExperimentConfig
+smallConfig(const std::string &bench = "Find")
+{
+    return ExperimentConfig::standard(bench, 1.0)
+        .withCores(4)
+        .withEpochs(1, 1);
+}
+
+/** The per-run fields that must match bit-for-bit. */
+void
+expectBitwiseEqual(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.metrics.instsRetired, b.metrics.instsRetired);
+    EXPECT_EQ(a.metrics.appEvents, b.metrics.appEvents);
+    EXPECT_EQ(a.metrics.migrations, b.metrics.migrations);
+    EXPECT_EQ(a.iHitAll, b.iHitAll);
+    EXPECT_EQ(a.dHitApp, b.dHitApp);
+    EXPECT_EQ(a.idlePercent(), b.idlePercent());
+}
+
+} // namespace
+
+TEST(SweepSeeds, RowDerivedAndStable)
+{
+    Sweep sweep;
+    sweep.add("rowA", "SchedTask", smallConfig(),
+              Technique::SchedTask);
+    sweep.add("rowA", "Linux", smallConfig(), Technique::Linux);
+    sweep.add("rowB", "SchedTask", smallConfig(),
+              Technique::SchedTask);
+
+    const auto &reqs = sweep.requests();
+    ASSERT_EQ(reqs.size(), 3u);
+    // Same row -> same derived seed (shared workload streams);
+    // different row -> a different stream.
+    EXPECT_EQ(runSeed(reqs[0]), runSeed(reqs[1]));
+    EXPECT_NE(runSeed(reqs[0]), runSeed(reqs[2]));
+    // Stable across invocations (no process-global RNG involved).
+    EXPECT_EQ(runSeed(reqs[0]), runSeed(reqs[0]));
+}
+
+TEST(SweepSeeds, DeriveSeedsOffUsesConfigSeed)
+{
+    Sweep sweep;
+    sweep.deriveSeeds(false);
+    ExperimentConfig cfg = smallConfig();
+    cfg.machine.seed = 42;
+    sweep.add("row", "run", cfg, Technique::Linux);
+    EXPECT_EQ(runSeed(sweep.requests()[0]), 42u);
+}
+
+TEST(SweepSeeds, MasterSeedShiftsDerivedSeeds)
+{
+    ExperimentConfig a = smallConfig();
+    ExperimentConfig b = smallConfig().withSeed(7);
+    Sweep sa, sb;
+    sa.add("row", "run", a, Technique::Linux);
+    sb.add("row", "run", b, Technique::Linux);
+    EXPECT_NE(runSeed(sa.requests()[0]), runSeed(sb.requests()[0]));
+}
+
+TEST(SweepDedup, OneBaselinePerConfig)
+{
+    Sweep sweep;
+    const ExperimentConfig cfg = smallConfig();
+    // Three techniques against the same config: one Linux baseline.
+    sweep.addComparison("Find", "SchedTask", cfg,
+                        Technique::SchedTask);
+    sweep.addComparison("Find", "SLICC", cfg, Technique::SLICC);
+    sweep.addComparison("Find", "FlexSC", cfg, Technique::FlexSC);
+    // SchedTask-only knobs don't change the Linux baseline either.
+    sweep.addComparison("Find", "no-steal",
+                        smallConfig().withSteal(StealPolicy::None),
+                        Technique::SchedTask);
+    EXPECT_EQ(sweep.size(), 5u);
+
+    // A baseline-relevant change (core count) gets its own run.
+    sweep.addComparison("Find", "8-core",
+                        smallConfig().withCores(8),
+                        Technique::SchedTask);
+    EXPECT_EQ(sweep.size(), 7u);
+
+    std::atomic<unsigned> baseline_runs{0};
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    opts.onRunDone = [&](const RunRequest &req, const RunResult &) {
+        if (req.isBaseline)
+            ++baseline_runs;
+    };
+    const SweepResults results = SweepRunner(opts).run(sweep);
+    EXPECT_EQ(results.size(), 7u);
+    EXPECT_EQ(baseline_runs.load(), 2u);
+}
+
+TEST(SweepRunnerTest, JobsOneAndFourBitwiseIdentical)
+{
+    const auto build = [] {
+        Sweep sweep;
+        for (const std::string bench : {"Find", "Iscp"}) {
+            sweep.addComparison(bench, "SchedTask",
+                                smallConfig(bench),
+                                Technique::SchedTask);
+            sweep.addComparison(bench, "SLICC", smallConfig(bench),
+                                Technique::SLICC);
+        }
+        return sweep;
+    };
+    SweepOptions one, four;
+    one.jobs = 1;
+    one.progress = false;
+    four.jobs = 4;
+    four.progress = false;
+
+    const Sweep sweep = build();
+    const SweepResults serial = SweepRunner(one).run(sweep);
+    const SweepResults parallel = SweepRunner(four).run(build());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const RunRequest &req : sweep.requests()) {
+        SCOPED_TRACE(req.label());
+        expectBitwiseEqual(serial.at(req.label()),
+                           parallel.at(req.label()));
+    }
+}
+
+TEST(SweepRunnerTest, ConcurrentRunsMatchRunOnce)
+{
+    // Two simulations on two worker threads must produce exactly
+    // what two sequential runOnce() calls produce — this guards
+    // against any global mutable state shared between concurrent
+    // Machine instances.
+    const ExperimentConfig cfg = smallConfig();
+    Sweep sweep;
+    sweep.deriveSeeds(false);
+    sweep.add("a", "Linux", cfg, Technique::Linux);
+    sweep.add("b", "SchedTask", cfg, Technique::SchedTask);
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    const SweepResults results = SweepRunner(opts).run(sweep);
+
+    expectBitwiseEqual(results.at("a", "Linux"),
+                       runOnce(cfg, Technique::Linux));
+    expectBitwiseEqual(results.at("b", "SchedTask"),
+                       runOnce(cfg, Technique::SchedTask));
+}
+
+TEST(SweepCross, BuildsFullMatrixWithBaselines)
+{
+    const Sweep sweep = Sweep::cross(
+        {"Find", "Iscp"}, {Technique::SchedTask, Technique::SLICC},
+        [](const std::string &bench) { return smallConfig(bench); });
+    // 2 rows x (2 techniques + 1 shared baseline per row).
+    EXPECT_EQ(sweep.size(), 6u);
+    EXPECT_EQ(sweep.rows().size(), 2u);
+    EXPECT_EQ(sweep.cols().size(), 2u);
+}
+
+TEST(SweepFluent, ChainingSetsFields)
+{
+    const ExperimentConfig cfg = ExperimentConfig::standard("Apache")
+                                     .withCores(16)
+                                     .withSteal(StealPolicy::None)
+                                     .withHeatmapBits(1024)
+                                     .withSeed(9)
+                                     .withTraceCache();
+    EXPECT_EQ(cfg.baselineCores, 16u);
+    EXPECT_EQ(cfg.schedTask.stealPolicy, StealPolicy::None);
+    EXPECT_EQ(cfg.machine.heatmapBits, 1024u);
+    EXPECT_EQ(cfg.machine.seed, 9u);
+    EXPECT_TRUE(cfg.useTraceCache);
+    EXPECT_FALSE(cfg.useCgpPrefetcher);
+}
+
+TEST(SweepFluent, AggregateInitStillWorks)
+{
+    // The fluent helpers must not turn ExperimentConfig into a
+    // non-aggregate (call sites use designated initializers).
+    const ExperimentConfig cfg = {
+        .baselineCores = 8,
+        .hierarchy = HierarchyParams::paperDefault(),
+        .machine = {},
+        .parts = {{"Find", 1.0}},
+        .warmupEpochs = 1,
+        .measureEpochs = 1,
+    };
+    EXPECT_EQ(cfg.baselineCores, 8u);
+    EXPECT_EQ(cfg.parts.size(), 1u);
+}
+
+TEST(SweepParallelFor, CoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; }, 4);
+    for (const std::atomic<int> &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepResultsDeath, UnknownLabelPanics)
+{
+    SweepResults results;
+    EXPECT_DEATH((void)results.at("nope"), "no sweep result");
+}

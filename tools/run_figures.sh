@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Build the simulator and regenerate every paper figure/table,
+# recording per-figure wall-clock times.
+#
+# Usage:
+#   tools/run_figures.sh [output-dir]
+#
+# Environment:
+#   SCHEDTASK_JOBS   worker threads per figure binary (default: all
+#                    hardware threads). Results are bitwise identical
+#                    for any value; only the wall-clock changes.
+#   SCHEDTASK_FAST   set to 1 for a quick smoke pass with shrunken
+#                    measurement windows (numbers will differ).
+#
+# Output: one .txt per figure in the output dir (default
+# build/figures), plus timings.txt with the per-figure wall-clock.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+outdir="${1:-build/figures}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" -- >/dev/null
+mkdir -p "$outdir"
+
+figures=(
+    fig04_breakup
+    fig07_app_performance
+    fig08_microarch
+    fig09_work_stealing
+    fig10_migrations
+    fig11_heatmap_size
+    tab04_workload_scaling
+    sec44_epoch_similarity
+    sec61_other_stats
+    ablation_talloc
+    app_fig1_multiprogrammed
+    app_fig2_prefetcher
+    app_fig3_trace_cache
+    app_tab2_icache_size
+    app_tab3_cache_config
+    app_tab4_core_count
+)
+
+timings="$outdir/timings.txt"
+: > "$timings"
+echo "jobs: ${SCHEDTASK_JOBS:-$(nproc) (default)}" | tee -a "$timings"
+
+total_start=$SECONDS
+for fig in "${figures[@]}"; do
+    start=$SECONDS
+    ./build/bench/"$fig" > "$outdir/$fig.txt"
+    elapsed=$((SECONDS - start))
+    printf '%-28s %5ds\n' "$fig" "$elapsed" | tee -a "$timings"
+done
+printf '%-28s %5ds\n' "total" "$((SECONDS - total_start))" \
+    | tee -a "$timings"
+echo "figures written to $outdir/"

@@ -22,7 +22,12 @@
  *     --heatmap-bits N   Page-heatmap width (default 512)
  *     --steal POLICY     none|same|similar|busiest (default similar)
  *     --seed N           master seed (default 1)
+ *     --jobs N           worker threads for --compare (default:
+ *                        SCHEDTASK_JOBS or the hardware concurrency)
  *     --stats            print the full stats dump
+ *     --json             print the stats dump as JSON
+ *     --viz              print per-core utilization bars and
+ *                        (SchedTask) the allocation table
  *     --trace [TID]      print a SuperFunction trace excerpt
  *     --compare          also run the Linux baseline and print deltas
  *     --help
@@ -37,6 +42,7 @@
 #include "core/schedtask_sched.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep.hh"
 #include "harness/visualize.hh"
 #include "sim/machine.hh"
 #include "sim/sf_trace.hh"
@@ -66,6 +72,9 @@ usage(int code)
         "  --heatmap-bits N   Page-heatmap width (default 512)\n"
         "  --steal POLICY     none|same|similar|busiest\n"
         "  --seed N           master seed (default 1)\n"
+        "  --jobs N           worker threads for --compare (default:\n"
+        "                     SCHEDTASK_JOBS or the hardware "
+        "concurrency)\n"
         "  --stats            print the full stats dump\n"
         "  --json             print the stats dump as JSON\n"
         "  --viz              print per-core utilization bars and\n"
@@ -87,6 +96,33 @@ parseTechnique(const std::string &name)
     }
     std::fprintf(stderr, "unknown technique: %s\n", name.c_str());
     std::exit(2);
+}
+
+/** The headline-metrics table shared by both run paths. */
+TextTable
+headlineTable(const SimMetrics &m, unsigned num_cores,
+              unsigned num_threads, double freq_ghz)
+{
+    TextTable table({"metric", "value"});
+    table.addRow({"cores", std::to_string(num_cores)});
+    table.addRow({"threads", std::to_string(num_threads)});
+    table.addRow({"IPC/core", TextTable::num(m.ipc(num_cores), 3)});
+    table.addRow({"Ginsts/s",
+                  TextTable::num(m.instThroughput(freq_ghz) / 1e9,
+                                 2)});
+    table.addRow({"app events/s (x1e6)",
+                  TextTable::num(
+                      m.appEventsPerSecond(freq_ghz) / 1e6, 2)});
+    table.addRow({"idle (%)",
+                  TextTable::num(m.idleFraction(num_cores) * 100.0)});
+    table.addRow({"migrations/1e9 insts",
+                  TextTable::num(
+                      m.instsRetired == 0
+                          ? 0.0
+                          : 1e9 * static_cast<double>(m.migrations)
+                              / static_cast<double>(m.instsRetired),
+                      0)});
+    return table;
 }
 
 StealPolicy
@@ -118,6 +154,7 @@ main(int argc, char **argv)
     unsigned heatmap_bits = 512;
     StealPolicy steal = StealPolicy::SameAndSimilar;
     std::uint64_t seed = 1;
+    unsigned jobs = 0;
     bool want_stats = false, want_compare = false;
     bool want_json = false, want_viz = false;
     std::optional<ThreadId> trace_tid;
@@ -152,6 +189,8 @@ main(int argc, char **argv)
             steal = parseSteal(next());
         } else if (arg == "--seed") {
             seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--stats") {
             want_stats = true;
         } else if (arg == "--json") {
@@ -182,6 +221,48 @@ main(int argc, char **argv)
     cfg.machine.seed = seed;
     cfg.schedTask.stealPolicy = steal;
 
+    const std::string run_name(techniqueName(technique));
+    const std::string title =
+        run_name + " on " + (bag ? *bag : benchmark);
+    const bool needs_machine =
+        want_stats || want_json || want_viz || want_trace;
+
+    if (!needs_machine) {
+        // No stats/viz/trace attachments requested: go through the
+        // sweep API, so --compare runs the Linux baseline and the
+        // technique on concurrent worker threads (--jobs or
+        // SCHEDTASK_JOBS; both runs still see --seed verbatim).
+        Sweep sweep;
+        sweep.deriveSeeds(false);
+        if (want_compare && technique != Technique::Linux)
+            sweep.addComparison("run", run_name, cfg, technique);
+        else
+            sweep.add("run", run_name, cfg, technique);
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.progress = false;
+        const SweepResults results = SweepRunner(opts).run(sweep);
+        const RunResult &r = results.at("run", run_name);
+
+        printHeader(title);
+        std::printf("%s\n",
+                    headlineTable(r.metrics, r.numCores,
+                                  r.numThreads, r.freqGhz)
+                        .render()
+                        .c_str());
+        if (want_compare && technique != Technique::Linux) {
+            const RunResult &base =
+                results.at(baselineLabelFor("run", cfg));
+            std::printf("vs Linux baseline: throughput %+0.1f%%, "
+                        "app performance %+0.1f%%\n\n",
+                        percentChange(base.instThroughput(),
+                                      r.instThroughput()),
+                        percentChange(base.appPerformance(),
+                                      r.appPerformance()));
+        }
+        return 0;
+    }
+
     // Build the run by hand so stats/trace can be attached.
     BenchmarkSuite suite;
     Workload workload =
@@ -199,32 +280,14 @@ main(int argc, char **argv)
     machine.run(static_cast<Cycles>(measure) * mp.epochCycles);
 
     const SimMetrics m = machine.metricsSnapshot();
-    printHeader(std::string(techniqueName(technique)) + " on "
-                + (bag ? *bag : benchmark));
-    TextTable table({"metric", "value"});
-    table.addRow({"cores", std::to_string(mp.numCores)});
-    table.addRow({"threads",
-                  std::to_string(machine.threads().size())});
-    table.addRow({"IPC/core",
-                  TextTable::num(m.ipc(mp.numCores), 3)});
-    table.addRow({"Ginsts/s",
-                  TextTable::num(
-                      m.instThroughput(mp.coreFrequencyGHz) / 1e9,
-                      2)});
-    table.addRow({"app events/s (x1e6)",
-                  TextTable::num(
-                      m.appEventsPerSecond(mp.coreFrequencyGHz) / 1e6,
-                      2)});
-    table.addRow({"idle (%)",
-                  TextTable::num(m.idleFraction(mp.numCores) * 100.0)});
-    table.addRow({"migrations/1e9 insts",
-                  TextTable::num(
-                      m.instsRetired == 0
-                          ? 0.0
-                          : 1e9 * static_cast<double>(m.migrations)
-                              / static_cast<double>(m.instsRetired),
-                      0)});
-    std::printf("%s\n", table.render().c_str());
+    printHeader(title);
+    std::printf("%s\n",
+                headlineTable(
+                    m, mp.numCores,
+                    static_cast<unsigned>(machine.threads().size()),
+                    mp.coreFrequencyGHz)
+                    .render()
+                    .c_str());
 
     if (want_compare && technique != Technique::Linux) {
         const RunResult base = runOnce(cfg, Technique::Linux);
