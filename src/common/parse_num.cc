@@ -1,0 +1,45 @@
+#include "common/parse_num.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace schedtask
+{
+
+std::optional<std::uint64_t>
+parseUnsigned(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        const std::uint64_t digit =
+            static_cast<std::uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return std::nullopt; // overflow
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+std::optional<double>
+parseDouble(std::string_view text)
+{
+    if (text.empty() || text.front() == ' ' || text.front() == '\t')
+        return std::nullopt;
+    const std::string copy(text);
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size() || errno == ERANGE
+            || !std::isfinite(value)) {
+        return std::nullopt;
+    }
+    return value;
+}
+
+} // namespace schedtask

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Strict numeric parsing for CLI flags.
+ *
+ * std::atoi silently turns garbage into 0 ("--cores xyz" used to
+ * build a 0-core machine); these helpers accept a value only when
+ * the whole string is a well-formed number, and return nullopt
+ * otherwise so callers can produce a proper diagnostic.
+ */
+
+#ifndef SCHEDTASK_COMMON_PARSE_NUM_HH
+#define SCHEDTASK_COMMON_PARSE_NUM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace schedtask
+{
+
+/**
+ * Parse a base-10 unsigned integer. The entire string must consist
+ * of digits (no sign, no whitespace, no suffix); overflow fails.
+ */
+std::optional<std::uint64_t> parseUnsigned(std::string_view text);
+
+/**
+ * Parse a finite decimal floating-point number (strtod grammar,
+ * whole string, no whitespace; nan/inf rejected).
+ */
+std::optional<double> parseDouble(std::string_view text);
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_COMMON_PARSE_NUM_HH

@@ -175,6 +175,8 @@ SchedTaskScheduler::onEpoch()
         core_stats_, alloc_,
         [this](SfType t) { return queuedCountOf(t); }, starved);
     overlap_ = std::move(result.overlap);
+    last_reallocated_ = result.reallocated;
+    last_placement_moves_ = 0;
     if (!result.reallocated)
         return;
     alloc_ = std::move(result.alloc);
@@ -189,7 +191,39 @@ SchedTaskScheduler::onEpoch()
     // Transfer queued threads to the cores their types now map to
     // (Section 5.2 does this transfer once per re-allocation to
     // bound migration cost).
+    last_placement_moves_ = totalQueued();
     replaceQueuedWork();
+}
+
+SchedEpochReport
+SchedTaskScheduler::epochDecision() const
+{
+    SchedEpochReport report = QueueScheduler::epochDecision();
+    report.cosineSimilarity = talloc_->lastSimilarity();
+    report.reallocated = last_reallocated_;
+    report.placementMoves = last_placement_moves_;
+    report.allocTypes = static_cast<unsigned>(alloc_.size());
+    report.workSteals = same_steals_ + similar_steals_;
+
+    std::vector<bool> used(numCores(), false);
+    for (SfType type : alloc_.types()) {
+        if (const std::vector<CoreId> *cores = alloc_.coresFor(type)) {
+            for (CoreId c : *cores) {
+                if (c < used.size())
+                    used[c] = true;
+            }
+        }
+    }
+    for (bool u : used)
+        report.allocCores += u ? 1 : 0;
+
+    for (const auto &[raw, entry] : talloc_->systemStats().rows()) {
+        report.heatmapSetBits += entry.heatmap.popcount();
+        for (const OverlapPeer &peer :
+             overlap_.peersOf(SfType::fromRaw(raw)))
+            report.heatmapOverlap += peer.overlap;
+    }
+    return report;
 }
 
 void

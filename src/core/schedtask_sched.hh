@@ -66,6 +66,7 @@ class SchedTaskScheduler : public QueueScheduler
     bool wantsHeatmap() const override { return true; }
     SchedOverhead overheadFor(SchedEvent event,
                               const SuperFunction *sf) const override;
+    SchedEpochReport epochDecision() const override;
 
     /** Last TAlloc outputs (introspection for tests/benches). */
     const AllocTable &allocTable() const { return alloc_; }
@@ -97,6 +98,9 @@ class SchedTaskScheduler : public QueueScheduler
     std::vector<std::uint64_t> last_scan_version_;
     /** Cumulative idle cycles at the last epoch boundary. */
     std::uint64_t last_idle_cycles_ = 0;
+    /** Outcome of the last TAlloc run (telemetry). */
+    bool last_reallocated_ = false;
+    std::uint64_t last_placement_moves_ = 0;
 };
 
 } // namespace schedtask

@@ -6,10 +6,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "harness/trace_export.hh"
 
 namespace schedtask
 {
@@ -298,8 +300,54 @@ SweepResults::at(const std::string &row, const std::string &col) const
     return at(row + "/" + col);
 }
 
+namespace
+{
+
+/** Run labels contain '/'; flatten to a safe file-name stem. */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c == '.' || c == '-'
+            || c == '_' || c == '@';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+/** Effective trace directory: option first, then environment. */
+std::string
+resolveTraceDir(const SweepOptions &options)
+{
+    if (!options.traceDir.empty())
+        return options.traceDir;
+    if (const char *env = std::getenv("SCHEDTASK_TRACE_DIR");
+        env != nullptr && env[0] != '\0') {
+        return env;
+    }
+    return {};
+}
+
+void
+writeRunTraces(const std::string &dir, const RunRequest &req,
+               const RunResult &result)
+{
+    const std::string stem = dir + "/" + sanitizeLabel(req.label());
+    writeTextFile(stem + ".trace.json",
+                  chromeTraceJson(result.metrics.epochSamples,
+                                  result.freqGhz));
+    writeTextFile(stem + ".jsonl",
+                  epochTraceJsonl(result.metrics.epochSamples));
+}
+
+} // namespace
+
 SweepResults
-SweepRunner::run(const Sweep &sweep) const
+SweepRunner::runPartial(const Sweep &sweep,
+                        std::vector<std::string> &failures) const
 {
     const std::vector<RunRequest> &requests = sweep.requests();
     SweepResults results;
@@ -310,25 +358,46 @@ SweepRunner::run(const Sweep &sweep) const
     if (jobs > requests.size())
         jobs = static_cast<unsigned>(requests.size());
 
+    const std::string trace_dir = resolveTraceDir(options_);
+    if (!trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(trace_dir, ec);
+        if (ec) {
+            failures.push_back("trace dir '" + trace_dir
+                               + "': " + ec.message());
+            return results;
+        }
+    }
+
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
     std::size_t done = 0;
-    std::mutex mutex; // results, progress counter, error
-    std::string error;
+    std::mutex mutex; // results, progress counter, failures
     const auto start = std::chrono::steady_clock::now();
 
     auto worker = [&]() {
         for (;;) {
+            // Stop dispatching new runs once any run has failed;
+            // runs already claimed by other workers still finish.
+            if (failed.load(std::memory_order_acquire))
+                return;
             const std::size_t i = next.fetch_add(1);
             if (i >= requests.size())
                 return;
             const RunRequest &req = requests[i];
             try {
+                if (options_.onRunStart)
+                    options_.onRunStart(req);
                 ExperimentConfig cfg = req.config;
                 cfg.machine.seed = runSeed(req);
+                if (!trace_dir.empty())
+                    cfg.machine.trace = true;
                 const std::unique_ptr<Scheduler> scheduler =
                     makeScheduler(req.technique, cfg.schedTask);
                 const RunResult result =
                     runWithScheduler(cfg, *scheduler);
+                if (!trace_dir.empty())
+                    writeRunTraces(trace_dir, req, result);
 
                 std::lock_guard<std::mutex> lock(mutex);
                 results.results_.emplace(req.label(), result);
@@ -347,8 +416,8 @@ SweepRunner::run(const Sweep &sweep) const
                     options_.onRunDone(req, result);
             } catch (const std::exception &e) {
                 std::lock_guard<std::mutex> lock(mutex);
-                if (error.empty())
-                    error = req.label() + ": " + e.what();
+                failures.push_back(req.label() + ": " + e.what());
+                failed.store(true, std::memory_order_release);
             }
         }
     };
@@ -363,9 +432,25 @@ SweepRunner::run(const Sweep &sweep) const
         for (std::thread &t : pool)
             t.join();
     }
+    return results;
+}
 
-    if (!error.empty())
-        SCHEDTASK_FATAL("sweep run failed: " + error);
+SweepResults
+SweepRunner::run(const Sweep &sweep) const
+{
+    std::vector<std::string> failures;
+    SweepResults results = runPartial(sweep, failures);
+    if (!failures.empty()) {
+        std::string msg = "sweep run failed ("
+            + std::to_string(failures.size()) + " failure"
+            + (failures.size() == 1 ? "" : "s") + "): ";
+        for (std::size_t i = 0; i < failures.size(); ++i) {
+            if (i != 0)
+                msg += "; ";
+            msg += failures[i];
+        }
+        SCHEDTASK_FATAL(msg);
+    }
     return results;
 }
 
@@ -411,6 +496,15 @@ SweepReport::matrix(const ChangeFn &fn) const
             SCHEDTASK_FATAL("sweep run '" + req.label()
                             + "' has no baseline to compare against");
         }
+        if (!results_.has(req.baselineLabel)) {
+            SCHEDTASK_FATAL("sweep report: missing baseline result '"
+                            + req.baselineLabel + "' for run '"
+                            + req.label() + "'");
+        }
+        if (!results_.has(req.label())) {
+            SCHEDTASK_FATAL("sweep report: missing run result '"
+                            + req.label() + "'");
+        }
         m.set(req.row, req.col,
               fn(results_.at(req.baselineLabel),
                  results_.at(req.label())));
@@ -425,6 +519,10 @@ SweepReport::matrixAbsolute(const ValueFn &fn) const
     for (const RunRequest &req : sweep_.requests()) {
         if (req.isBaseline)
             continue;
+        if (!results_.has(req.label())) {
+            SCHEDTASK_FATAL("sweep report: missing run result '"
+                            + req.label() + "'");
+        }
         m.set(req.row, req.col, fn(results_.at(req.label())));
     }
     return m;
@@ -445,6 +543,10 @@ SweepReport::withBaselineColumn(const std::string &baseline_col,
     for (const RunRequest &req : sweep_.requests()) {
         if (req.isBaseline)
             continue;
+        if (!results_.has(req.label())) {
+            SCHEDTASK_FATAL("sweep report: missing run result '"
+                            + req.label() + "'");
+        }
         m.set(req.row, req.col, fn(results_.at(req.label())));
     }
     return m;

@@ -185,10 +185,27 @@ struct SweepOptions
     /** Stream "[k/N] label done" progress lines to stderr. */
     bool progress = true;
 
+    /**
+     * Directory for per-run epoch traces. When non-empty, every
+     * run executes with MachineParams.trace enabled and writes
+     * "<dir>/<label>.trace.json" (Chrome trace) plus
+     * "<dir>/<label>.jsonl" ('/' in labels becomes '_'; one file
+     * pair per run label, so concurrent workers never share a
+     * file). Empty falls back to the SCHEDTASK_TRACE_DIR
+     * environment variable; unset means no tracing. Tracing is
+     * pure observation — results stay bitwise identical.
+     */
+    std::string traceDir;
+
     /** Observation hook, called (under the runner's lock) after
      *  each run completes. Used by tests and progress consumers. */
     std::function<void(const RunRequest &, const RunResult &)>
         onRunDone;
+
+    /** Observation hook, called on the worker thread right after a
+     *  request is claimed, before it executes. A throwing hook
+     *  fails that run (tests use this to inject failures). */
+    std::function<void(const RunRequest &)> onRunStart;
 };
 
 /** Executes a Sweep on a thread pool. */
@@ -201,7 +218,18 @@ class SweepRunner
     {
     }
 
+    /** Run the sweep; fatal (listing every failed run label) when
+     *  any run throws. */
     SweepResults run(const Sweep &sweep) const;
+
+    /**
+     * Non-fatal variant: executes runs until the first failure is
+     * observed (dispatch stops; runs already claimed by other
+     * workers still finish), appending one "label: reason" entry
+     * per failed run to `failures`. Returns whatever completed.
+     */
+    SweepResults runPartial(const Sweep &sweep,
+                            std::vector<std::string> &failures) const;
 
   private:
     SweepOptions options_;

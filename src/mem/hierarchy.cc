@@ -96,7 +96,10 @@ MemHierarchy::fetchImpl(CoreId core, Addr addr, ExecClass cls)
     // L1I miss: walk the lower levels, exposing the full latency
     // plus the frontend refill bubble.
     stall += params_.frontendBubbleCycles;
+    if (params_.hasPrivateL2)
+        ++l2_counts_.accesses;
     if (params_.hasPrivateL2 && l2_[core]->access(line)) {
+        ++l2_counts_.hits;
         stall += params_.l2.latency;
     } else {
         bool llc_hit = false;
@@ -160,13 +163,19 @@ MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
         ++remote_dirty_fills_;
         l1d_[core]->invalidate(line); // stale copy, if any
         fill_latency = params_.remoteFillLatency;
-    } else if (params_.hasPrivateL2 && l2_[core]->access(line)) {
-        fill_latency = params_.l2.latency;
+    } else if (params_.hasPrivateL2) {
+        ++l2_counts_.accesses;
+        if (l2_[core]->access(line)) {
+            ++l2_counts_.hits;
+            fill_latency = params_.l2.latency;
+        } else {
+            bool llc_hit = false;
+            fill_latency = fillFromShared(core, line, llc_hit);
+            l2_[core]->insert(line);
+        }
     } else {
         bool llc_hit = false;
         fill_latency = fillFromShared(core, line, llc_hit);
-        if (params_.hasPrivateL2)
-            l2_[core]->insert(line);
     }
     const Addr evicted = l1d_[core]->insert(line);
     if (evicted != 0)
@@ -288,6 +297,7 @@ MemHierarchy::resetStats()
         c = AccessCounts{};
     for (auto &c : d_counts_)
         c = AccessCounts{};
+    l2_counts_ = AccessCounts{};
     coherence_invalidations_ = 0;
     remote_dirty_fills_ = 0;
     fetch_stall_cycles_ = 0;

@@ -164,6 +164,10 @@ class MemHierarchy : public PrefetchSink
     /** Overall L1 d-cache counters (both classes summed). */
     AccessCounts dCountsTotal() const;
 
+    /** Private unified L2 counters (fetch + data fills; zero when
+     *  the hierarchy has no private L2). */
+    const AccessCounts &l2Counts() const { return l2_counts_; }
+
     /** iTLB of a core (for hit-rate reporting). */
     const Tlb &itlb(CoreId core) const { return *itlbs_[core]; }
 
@@ -221,6 +225,7 @@ class MemHierarchy : public PrefetchSink
 
     AccessCounts i_counts_[numExecClasses];
     AccessCounts d_counts_[numExecClasses];
+    AccessCounts l2_counts_;
     Cycles fetch_stall_cycles_ = 0;
     Cycles data_stall_cycles_ = 0;
     std::uint64_t coherence_invalidations_ = 0;

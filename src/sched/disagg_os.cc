@@ -100,6 +100,7 @@ DisAggregateOSScheduler::onSliceEnd(CoreId core, const SuperFunction *sf,
 void
 DisAggregateOSScheduler::onEpoch()
 {
+    last_reassigned_ = false;
     if (region_load_.empty())
         return;
 
@@ -175,6 +176,25 @@ DisAggregateOSScheduler::onEpoch()
 
     region_load_.clear();
     region_freq_.clear();
+    last_reassigned_ = true;
+}
+
+SchedEpochReport
+DisAggregateOSScheduler::epochDecision() const
+{
+    SchedEpochReport report = QueueScheduler::epochDecision();
+    report.allocTypes = static_cast<unsigned>(assignment_.size());
+    std::vector<bool> used(numCores(), false);
+    for (const auto &[region, cores] : assignment_) {
+        for (CoreId c : cores) {
+            if (c < used.size())
+                used[c] = true;
+        }
+    }
+    for (bool u : used)
+        report.allocCores += u ? 1 : 0;
+    report.reallocated = last_reassigned_;
+    return report;
 }
 
 } // namespace schedtask

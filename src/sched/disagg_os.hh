@@ -55,6 +55,8 @@ class DisAggregateOSScheduler : public QueueScheduler
     /** Cores currently assigned to a region; empty if none. */
     std::vector<CoreId> coresOfRegion(std::uint64_t region) const;
 
+    SchedEpochReport epochDecision() const override;
+
   protected:
     CoreId choosePlacement(SuperFunction *sf,
                            PlacementReason reason) override;
@@ -66,6 +68,8 @@ class DisAggregateOSScheduler : public QueueScheduler
     std::unordered_map<std::uint64_t, std::uint64_t> region_freq_;
     /** region -> assigned cores. */
     std::unordered_map<std::uint64_t, std::vector<CoreId>> assignment_;
+    /** Did the last epoch boundary rebuild the assignment? */
+    bool last_reassigned_ = false;
 };
 
 } // namespace schedtask

@@ -90,6 +90,7 @@ FlexSCScheduler::onSliceEnd(CoreId core, const SuperFunction *sf,
 void
 FlexSCScheduler::onEpoch()
 {
+    const unsigned before = syscall_cores_;
     // Adapt the core split to the syscall load observed last epoch.
     if (total_time_ > 0) {
         const double frac = static_cast<double>(syscall_time_)
@@ -117,8 +118,21 @@ FlexSCScheduler::onEpoch()
             std::max(syscall_cores_ - 1, params_.minSyscallCores);
     }
 
+    last_repartitioned_ = syscall_cores_ != before;
     syscall_time_ = 0;
     total_time_ = 0;
+}
+
+SchedEpochReport
+FlexSCScheduler::epochDecision() const
+{
+    SchedEpochReport report = QueueScheduler::epochDecision();
+    // The partition is the decision: one managed class (system
+    // calls) served by the dedicated top-of-range cores.
+    report.allocTypes = 1;
+    report.allocCores = syscall_cores_;
+    report.reallocated = last_repartitioned_;
+    return report;
 }
 
 SchedOverhead

@@ -58,6 +58,7 @@ class FlexSCScheduler : public QueueScheduler
                     const PageHeatmap &heatmap) override;
     SchedOverhead overheadFor(SchedEvent event,
                               const SuperFunction *sf) const override;
+    SchedEpochReport epochDecision() const override;
 
     /** Current number of syscall cores (tests). */
     unsigned syscallCores() const { return syscall_cores_; }
@@ -76,6 +77,8 @@ class FlexSCScheduler : public QueueScheduler
     unsigned syscall_cores_ = 1;
     Cycles syscall_time_ = 0;
     Cycles total_time_ = 0;
+    /** Did the last epoch boundary move the core partition? */
+    bool last_repartitioned_ = false;
 };
 
 } // namespace schedtask

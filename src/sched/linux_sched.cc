@@ -34,6 +34,7 @@ LinuxScheduler::pickNext(CoreId core)
 void
 LinuxScheduler::onEpoch()
 {
+    last_balance_moves_ = 0;
     if (!params_.balanceEachEpoch)
         return;
     // Load balancing: move work from the longest to the shortest
@@ -53,7 +54,17 @@ LinuxScheduler::onEpoch()
         }
         SuperFunction *moved = takeBack(busiest);
         enqueue(idlest, moved);
+        ++last_balance_moves_;
     }
+}
+
+SchedEpochReport
+LinuxScheduler::epochDecision() const
+{
+    SchedEpochReport report = QueueScheduler::epochDecision();
+    report.reallocated = last_balance_moves_ > 0;
+    report.placementMoves = last_balance_moves_;
+    return report;
 }
 
 } // namespace schedtask

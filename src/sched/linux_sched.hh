@@ -36,6 +36,7 @@ class LinuxScheduler : public QueueScheduler
 
     void onEpoch() override;
     SuperFunction *pickNext(CoreId core) override;
+    SchedEpochReport epochDecision() const override;
 
   protected:
     CoreId choosePlacement(SuperFunction *sf,
@@ -44,6 +45,8 @@ class LinuxScheduler : public QueueScheduler
   private:
     LinuxSchedParams params_;
     CoreId next_spawn_core_ = 0;
+    /** Load-balancer migrations at the last epoch boundary. */
+    std::uint64_t last_balance_moves_ = 0;
 };
 
 } // namespace schedtask

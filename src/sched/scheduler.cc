@@ -109,6 +109,14 @@ QueueScheduler::routeIrq(IrqId irq)
     return core;
 }
 
+SchedEpochReport
+QueueScheduler::epochDecision() const
+{
+    SchedEpochReport report;
+    report.queuedSfs = totalQueued();
+    return report;
+}
+
 void
 QueueScheduler::enqueue(CoreId core, SuperFunction *sf)
 {

@@ -23,6 +23,7 @@
 
 #include "common/types.hh"
 #include "core/super_function.hh"
+#include "stats/epoch_trace.hh"
 
 namespace schedtask
 {
@@ -111,6 +112,14 @@ class Scheduler
     virtual void onEpoch() {}
 
     /**
+     * Telemetry report for the decision taken at the last epoch
+     * boundary; the Machine calls this right after onEpoch() when
+     * epoch tracing is enabled. Pure observation: implementations
+     * must not mutate scheduling state here.
+     */
+    virtual SchedEpochReport epochDecision() const { return {}; }
+
+    /**
      * Mid-SuperFunction placement check (every execution chunk).
      * SLICC migrates threads here; everyone else stays put.
      *
@@ -172,6 +181,7 @@ class QueueScheduler : public Scheduler
     SuperFunction *pickNext(CoreId core) override;
     bool hasRunnable(CoreId core) const override;
     CoreId routeIrq(IrqId irq) override;
+    SchedEpochReport epochDecision() const override;
 
   protected:
     /** Decide the core for a SuperFunction. */

@@ -90,4 +90,16 @@ SelectiveOffloadScheduler::routeIrq(IrqId irq)
     return core;
 }
 
+SchedEpochReport
+SelectiveOffloadScheduler::epochDecision() const
+{
+    SchedEpochReport report = QueueScheduler::epochDecision();
+    // The partition is static: long system calls, interrupt
+    // handlers and bottom halves run on the OS half, applications
+    // on the other; no per-epoch decision ever changes it.
+    report.allocTypes = 3;
+    report.allocCores = numCores() - osBase();
+    return report;
+}
+
 } // namespace schedtask

@@ -51,6 +51,7 @@ class SelectiveOffloadScheduler : public QueueScheduler
 
     CoreId routeIrq(IrqId irq) override;
     SuperFunction *pickNext(CoreId core) override;
+    SchedEpochReport epochDecision() const override;
 
   protected:
     CoreId choosePlacement(SuperFunction *sf,

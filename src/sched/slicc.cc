@@ -102,12 +102,35 @@ SliccScheduler::onEpoch()
     // the i-cache benefit of small collectives returns. Collectives
     // under sustained demand immediately re-grow through the spill
     // path.
+    last_shrunk_ = 0;
     if (++epoch_counter_ % 4 != 0)
         return;
     for (auto &[key, homes] : seg_homes_) {
-        if (homes.size() > 1)
+        if (homes.size() > 1) {
             homes.pop_back();
+            ++last_shrunk_;
+        }
     }
+}
+
+SchedEpochReport
+SliccScheduler::epochDecision() const
+{
+    SchedEpochReport report = QueueScheduler::epochDecision();
+    report.allocTypes =
+        static_cast<unsigned>(seg_homes_.size());
+    std::vector<bool> used(numCores(), false);
+    for (const auto &[key, homes] : seg_homes_) {
+        for (CoreId c : homes) {
+            if (c < used.size())
+                used[c] = true;
+        }
+    }
+    for (bool u : used)
+        report.allocCores += u ? 1 : 0;
+    report.reallocated = last_shrunk_ > 0;
+    report.placementMoves = last_shrunk_;
+    return report;
 }
 
 CoreId

@@ -69,6 +69,8 @@ class SliccScheduler : public QueueScheduler
         return {};
     }
 
+    SchedEpochReport epochDecision() const override;
+
     /** Number of distinct segments discovered (tests). */
     std::size_t segmentsDiscovered() const { return seg_homes_.size(); }
 
@@ -96,6 +98,8 @@ class SliccScheduler : public QueueScheduler
     std::unordered_map<std::uint64_t, CoreId> next_core_;
     /** Epochs seen (collectives shrink every fourth). */
     std::uint64_t epoch_counter_ = 0;
+    /** Collectives shrunk at the last epoch boundary. */
+    std::uint64_t last_shrunk_ = 0;
 };
 
 } // namespace schedtask

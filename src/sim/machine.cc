@@ -35,6 +35,13 @@ Machine::Machine(const MachineParams &params, const HierarchyParams &hier,
     metrics_.instsByPart.assign(num_parts_, 0);
     metrics_.perCoreIdleCycles.assign(params_.numCores, 0);
 
+    if (params_.trace) {
+        epoch_trace_ =
+            std::make_unique<EpochTrace>(params_.traceEpochCapacity);
+        epoch_core_acc_.assign(params_.numCores, EpochCoreSample{});
+        resetEpochBaseline();
+    }
+
     // Spawn threads: each thread's application SuperFunction is
     // created by the fork handler on some core; we attribute the ID
     // to the core the thread initially lands on.
@@ -91,6 +98,8 @@ Machine::run(Cycles duration)
                 metrics_.epochTypeInsts.push_back(epoch_insts_);
                 epoch_insts_.clear();
             }
+            if (epoch_trace_)
+                captureEpochSample();
             next_epoch_ += params_.epochCycles;
         }
     }
@@ -117,6 +126,69 @@ Machine::resetStats()
     hierarchy_->resetStats();
     for (auto &thread : threads_)
         thread->instsRetired = 0;
+    if (epoch_trace_) {
+        epoch_trace_->clear();
+        epoch_core_acc_.assign(params_.numCores, EpochCoreSample{});
+        resetEpochBaseline();
+    }
+}
+
+void
+Machine::resetEpochBaseline()
+{
+    epoch_base_ = EpochBaseline{};
+    epoch_base_.insts = metrics_.instsRetired;
+    epoch_base_.overhead = metrics_.overheadInsts;
+    epoch_base_.migrations = metrics_.migrations;
+    epoch_base_.idle = metrics_.idleCycles;
+    epoch_base_.irqs = metrics_.irqCount;
+    epoch_base_.l1i = hierarchy_->iCountsTotal();
+    epoch_base_.l2 = hierarchy_->l2Counts();
+    epoch_base_.startCycle = now_;
+    epoch_base_.coreIdle = metrics_.perCoreIdleCycles;
+}
+
+void
+Machine::captureEpochSample()
+{
+    EpochSample s;
+    s.index = epoch_trace_->totalRecorded();
+    s.startCycle = epoch_base_.startCycle;
+    s.endCycle = now_;
+    s.instsRetired = metrics_.instsRetired - epoch_base_.insts;
+    s.overheadInsts = metrics_.overheadInsts - epoch_base_.overhead;
+    s.migrations = metrics_.migrations - epoch_base_.migrations;
+    s.idleCycles = metrics_.idleCycles - epoch_base_.idle;
+    s.irqCount = metrics_.irqCount - epoch_base_.irqs;
+
+    const AccessCounts l1i = hierarchy_->iCountsTotal();
+    const std::uint64_t i_acc = l1i.accesses - epoch_base_.l1i.accesses;
+    const std::uint64_t i_hit = l1i.hits - epoch_base_.l1i.hits;
+    s.l1iMissRate = i_acc == 0
+        ? 0.0
+        : 1.0 - static_cast<double>(i_hit) / static_cast<double>(i_acc);
+    const AccessCounts l2 = hierarchy_->l2Counts();
+    const std::uint64_t l2_acc = l2.accesses - epoch_base_.l2.accesses;
+    const std::uint64_t l2_hit = l2.hits - epoch_base_.l2.hits;
+    s.l2MissRate = l2_acc == 0
+        ? 0.0
+        : 1.0
+            - static_cast<double>(l2_hit)
+                / static_cast<double>(l2_acc);
+
+    s.cores = epoch_core_acc_;
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        const std::uint64_t base = c < epoch_base_.coreIdle.size()
+            ? epoch_base_.coreIdle[c]
+            : 0;
+        s.cores[c].idleCycles = metrics_.perCoreIdleCycles[c] - base;
+    }
+
+    s.sched = scheduler_->epochDecision();
+
+    epoch_trace_->record(std::move(s));
+    epoch_core_acc_.assign(params_.numCores, EpochCoreSample{});
+    resetEpochBaseline();
 }
 
 void
@@ -153,6 +225,8 @@ Machine::exportStats(StatSet &stats) const
         .add(h.dCounts(ExecClass::App).hitRate());
     stats.get("mem.l1d.hitRate.os")
         .add(h.dCounts(ExecClass::Os).hitRate());
+    if (h.params().hasPrivateL2)
+        stats.get("mem.l2.hitRate").add(h.l2Counts().hitRate());
     stats.get("mem.itlb.hitRate").add(h.itlbHitRate());
     stats.get("mem.dtlb.hitRate").add(h.dtlbHitRate());
     stats.get("mem.fetchStallCycles")
@@ -178,6 +252,8 @@ Machine::metricsSnapshot() const
     snap.perThreadInsts.reserve(threads_.size());
     for (const auto &thread : threads_)
         snap.perThreadInsts.push_back(thread->instsRetired);
+    if (epoch_trace_)
+        snap.epochSamples = epoch_trace_->samples();
     return snap;
 }
 
@@ -214,6 +290,10 @@ Machine::recordInsts(SuperFunction *sf, std::uint64_t insts)
         sf->thread->instsRetired += insts;
     if (params_.recordEpochBreakups)
         epoch_insts_[sf->type.raw()] += insts;
+    if (epoch_trace_ && sf->coreId < epoch_core_acc_.size()) {
+        epoch_core_acc_[sf->coreId].instsByCategory[
+            static_cast<unsigned>(sf->info->category)] += insts;
+    }
 }
 
 void

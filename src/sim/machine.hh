@@ -31,6 +31,7 @@
 #include "sim/metrics.hh"
 #include "sim/sf_trace.hh"
 #include "sim/thread.hh"
+#include "stats/epoch_trace.hh"
 #include "stats/stat_set.hh"
 #include "workload/benchmarks.hh"
 #include "workload/workload.hh"
@@ -82,6 +83,13 @@ struct MachineParams
     /** Track the exact set of code pages each superFuncType
      *  touches (ground truth for the Fig. 11 ranking study). */
     bool trackExactPages = false;
+
+    /** Capture per-epoch telemetry (EpochSamples). Observation
+     *  only: results are bitwise identical with tracing off. */
+    bool trace = false;
+
+    /** Epochs kept in the telemetry ring (oldest evicted). */
+    std::size_t traceEpochCapacity = 8192;
 };
 
 /**
@@ -254,6 +262,13 @@ class Machine
     /** Charge the scheduler's per-epoch work (TAlloc) to core 0. */
     void chargeEpochWork();
 
+    /** Capture one EpochSample at an epoch boundary (tracing). */
+    void captureEpochSample();
+
+    /** Reset the telemetry delta baseline to the current counters
+     *  (all zero after a stats reset). */
+    void resetEpochBaseline();
+
     SuperFunction *allocSf();
     void recycleSf(SuperFunction *sf);
     void armAmbientStream(const AmbientIrqInstance &inst);
@@ -281,6 +296,27 @@ class Machine
 
     SimMetrics metrics_;
     std::unordered_map<std::uint64_t, std::uint64_t> epoch_insts_;
+
+    /** Epoch telemetry (only allocated when params_.trace). The
+     *  baseline holds the cumulative counter values at the last
+     *  captured boundary, so each sample is a pure delta. */
+    struct EpochBaseline
+    {
+        std::uint64_t insts = 0;
+        std::uint64_t overhead = 0;
+        std::uint64_t migrations = 0;
+        std::uint64_t idle = 0;
+        std::uint64_t irqs = 0;
+        AccessCounts l1i;
+        AccessCounts l2;
+        Cycles startCycle = 0;
+        std::vector<std::uint64_t> coreIdle;
+    };
+    std::unique_ptr<EpochTrace> epoch_trace_;
+    EpochBaseline epoch_base_;
+    /** Per-core category instructions of the current epoch. */
+    std::vector<EpochCoreSample> epoch_core_acc_;
+
     std::unordered_map<std::uint64_t, std::unordered_set<Addr>>
         exact_pages_;
     SfTracer *tracer_ = nullptr;

@@ -18,6 +18,7 @@
 
 #include "common/types.hh"
 #include "core/sf_type.hh"
+#include "stats/epoch_trace.hh"
 
 namespace schedtask
 {
@@ -66,6 +67,9 @@ struct SimMetrics
     /** Per-epoch instruction counts by superFuncType (optional). */
     std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
         epochTypeInsts;
+
+    /** Epoch telemetry (filled when MachineParams.trace is set). */
+    std::vector<EpochSample> epochSamples;
 
     // ---- Derived quantities ---------------------------------------
 

@@ -1,0 +1,56 @@
+#include "stats/epoch_trace.hh"
+
+#include "common/logging.hh"
+
+namespace schedtask
+{
+
+EpochTrace::EpochTrace(std::size_t capacity) : capacity_(capacity)
+{
+    SCHEDTASK_ASSERT(capacity_ >= 1, "epoch trace needs capacity");
+    ring_.reserve(capacity_);
+}
+
+void
+EpochTrace::record(EpochSample sample)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(sample));
+    } else {
+        ring_[head_] = std::move(sample);
+        wrapped_ = true;
+    }
+    head_ = (head_ + 1) % capacity_;
+    ++total_;
+}
+
+std::vector<EpochSample>
+EpochTrace::samples() const
+{
+    std::vector<EpochSample> out;
+    out.reserve(size());
+    if (!wrapped_) {
+        out.assign(ring_.begin(), ring_.end());
+        return out;
+    }
+    for (std::size_t i = 0; i < capacity_; ++i)
+        out.push_back(ring_[(head_ + i) % capacity_]);
+    return out;
+}
+
+std::size_t
+EpochTrace::size() const
+{
+    return wrapped_ ? capacity_ : ring_.size();
+}
+
+void
+EpochTrace::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    wrapped_ = false;
+    total_ = 0;
+}
+
+} // namespace schedtask

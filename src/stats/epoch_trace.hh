@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Epoch-level telemetry (the observability layer).
+ *
+ * The figures report end-of-window aggregates, but the paper's
+ * narrative — breakup cosine similarity, the 0.98 re-allocation
+ * guard, per-epoch overlap tables (Sections 4.4/5.2) — is a
+ * time-series story. When tracing is enabled, the Machine snapshots
+ * one EpochSample per epoch boundary: per-core occupancy by
+ * SuperFunction category, idle cycles, migrations, interrupt
+ * counts, L1i/L2 miss rates, and the scheduler's own per-epoch
+ * decision report (SchedEpochReport). Samples live in a bounded
+ * ring (EpochTrace) so long simulations cannot exhaust memory, and
+ * are copied into SimMetrics::epochSamples by metricsSnapshot().
+ *
+ * Exporters (JSON Lines and Chrome trace-event format) live in
+ * harness/trace_export.hh.
+ */
+
+#ifndef SCHEDTASK_STATS_EPOCH_TRACE_HH
+#define SCHEDTASK_STATS_EPOCH_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/sf_type.hh"
+
+namespace schedtask
+{
+
+/**
+ * What the scheduler decided at an epoch boundary. Filled by the
+ * optional Scheduler::epochDecision() hook; every technique maps
+ * its own notions onto these fields (documented per field).
+ */
+struct SchedEpochReport
+{
+    /** Breakup cosine similarity against the previous epoch
+     *  (SchedTask's TAlloc; 1.0 for techniques without one). */
+    double cosineSimilarity = 1.0;
+
+    /** True when this boundary changed placements: a TAlloc
+     *  re-allocation, Linux load-balance moves, a FlexSC core
+     *  repartition, a SLICC collective shrink, a DisAggregateOS
+     *  region reassignment. */
+    bool reallocated = false;
+
+    /** Entities with dedicated core assignments: superFuncTypes
+     *  (SchedTask), OS regions (DisAggregateOS), code segments
+     *  (SLICC), offloaded categories (SelectiveOffload). */
+    unsigned allocTypes = 0;
+
+    /** Cores covered by those assignments (syscall cores for
+     *  FlexSC, OS cores for SelectiveOffload). */
+    unsigned allocCores = 0;
+
+    /** SuperFunctions waiting in run queues at the boundary. */
+    std::uint64_t queuedSfs = 0;
+
+    /** Queued SuperFunctions re-placed / load-balanced at this
+     *  boundary (TAlloc's queued-work transfer, Linux balancer
+     *  moves). */
+    std::uint64_t placementMoves = 0;
+
+    /** Cumulative successful work steals (SchedTask's TMigrate:
+     *  same-work plus similar-work levels). */
+    std::uint64_t workSteals = 0;
+
+    /** Summed Page-heatmap popcount over the system stats table
+     *  aggregated at this boundary (heatmap occupancy). */
+    std::uint64_t heatmapSetBits = 0;
+
+    /** Summed directed pairwise overlap over the overlap table. */
+    std::uint64_t heatmapOverlap = 0;
+};
+
+/** One core's occupancy during one epoch. */
+struct EpochCoreSample
+{
+    /** Instructions retired per SuperFunction category (scheduler
+     *  routines excluded, as in the stats tables). */
+    std::uint64_t instsByCategory[numSfCategories] = {};
+
+    /** Idle cycles of this core during the epoch. */
+    std::uint64_t idleCycles = 0;
+};
+
+/** Everything sampled at one epoch boundary. */
+struct EpochSample
+{
+    /** Epoch number since the last resetStats(). */
+    std::uint64_t index = 0;
+
+    /** Epoch bounds in simulated cycles. */
+    Cycles startCycle = 0;
+    Cycles endCycle = 0;
+
+    /** Instructions retired this epoch (including overhead). */
+    std::uint64_t instsRetired = 0;
+
+    /** Scheduler-routine instructions this epoch. */
+    std::uint64_t overheadInsts = 0;
+
+    /** Inter-core thread migrations this epoch. */
+    std::uint64_t migrations = 0;
+
+    /** Idle core-cycles summed over all cores this epoch. */
+    std::uint64_t idleCycles = 0;
+
+    /** Interrupts serviced this epoch. */
+    std::uint64_t irqCount = 0;
+
+    /** L1 i-cache miss rate over this epoch (app + OS), in [0,1]. */
+    double l1iMissRate = 0.0;
+
+    /** Private unified L2 miss rate over this epoch, in [0,1];
+     *  0 when the hierarchy has no private L2 or saw no accesses. */
+    double l2MissRate = 0.0;
+
+    /** The scheduler's decision report for this boundary. */
+    SchedEpochReport sched;
+
+    /** Per-core occupancy, indexed by core ID. */
+    std::vector<EpochCoreSample> cores;
+};
+
+/**
+ * Bounded ring of EpochSamples (mirrors SfTracer's scheme): the
+ * most recent `capacity` epochs are kept, older ones are dropped.
+ */
+class EpochTrace
+{
+  public:
+    explicit EpochTrace(std::size_t capacity = 8192);
+
+    /** Append one sample, evicting the oldest when full. */
+    void record(EpochSample sample);
+
+    /** Samples in chronological order (oldest first). */
+    std::vector<EpochSample> samples() const;
+
+    /** Samples currently held. */
+    std::size_t size() const;
+
+    /** Epochs recorded since the last clear (ignores eviction). */
+    std::uint64_t totalRecorded() const { return total_; }
+
+    /** Drop everything (stats reset). */
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::vector<EpochSample> ring_;
+    std::size_t head_ = 0;
+    bool wrapped_ = false;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_STATS_EPOCH_TRACE_HH

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/math_utils.hh"
+#include "common/parse_num.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 
@@ -216,4 +217,48 @@ TEST(Types, AddressHelpers)
     EXPECT_EQ(pageFrameOf(addr), 5u);
     EXPECT_EQ(lineAddrOf(addr) % lineBytes, 0u);
     EXPECT_EQ(lineNumOf(lineBytes * 9), 9u);
+}
+
+TEST(ParseNum, UnsignedAcceptsPlainDigits)
+{
+    EXPECT_EQ(parseUnsigned("0"), 0u);
+    EXPECT_EQ(parseUnsigned("42"), 42u);
+    EXPECT_EQ(parseUnsigned("18446744073709551615"),
+              UINT64_MAX);
+}
+
+TEST(ParseNum, UnsignedRejectsGarbage)
+{
+    // std::atoi turned every one of these into a silent 0 or a
+    // truncated prefix; the strict parser refuses them all.
+    EXPECT_FALSE(parseUnsigned(""));
+    EXPECT_FALSE(parseUnsigned("xyz"));
+    EXPECT_FALSE(parseUnsigned("12abc"));
+    EXPECT_FALSE(parseUnsigned("-1"));
+    EXPECT_FALSE(parseUnsigned("+1"));
+    EXPECT_FALSE(parseUnsigned(" 1"));
+    EXPECT_FALSE(parseUnsigned("1 "));
+    EXPECT_FALSE(parseUnsigned("0x10"));
+    EXPECT_FALSE(parseUnsigned("1.5"));
+    // One past UINT64_MAX overflows.
+    EXPECT_FALSE(parseUnsigned("18446744073709551616"));
+}
+
+TEST(ParseNum, DoubleAcceptsDecimalGrammar)
+{
+    EXPECT_DOUBLE_EQ(*parseDouble("2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(*parseDouble("-0.125"), -0.125);
+    EXPECT_DOUBLE_EQ(*parseDouble("1e3"), 1000.0);
+    EXPECT_DOUBLE_EQ(*parseDouble("7"), 7.0);
+}
+
+TEST(ParseNum, DoubleRejectsGarbageAndNonFinite)
+{
+    EXPECT_FALSE(parseDouble(""));
+    EXPECT_FALSE(parseDouble("abc"));
+    EXPECT_FALSE(parseDouble("1.5x"));
+    EXPECT_FALSE(parseDouble(" 1.5"));
+    EXPECT_FALSE(parseDouble("nan"));
+    EXPECT_FALSE(parseDouble("inf"));
+    EXPECT_FALSE(parseDouble("1e999"));
 }

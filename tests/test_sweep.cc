@@ -8,10 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
+#include <latch>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
+#include "harness/trace_export.hh"
 
 using namespace schedtask;
 
@@ -221,4 +227,149 @@ TEST(SweepResultsDeath, UnknownLabelPanics)
 {
     SweepResults results;
     EXPECT_DEATH((void)results.at("nope"), "no sweep result");
+}
+
+TEST(SweepFailure, SerialStopsDispatchAfterFirstFailure)
+{
+    // Four runs, the second one fails: the first completes, and the
+    // remaining two must never be dispatched (the old runner kept
+    // burning CPU on every remaining run after a failure).
+    Sweep sweep;
+    for (const std::string row : {"a", "b", "c", "d"})
+        sweep.add(row, "Linux", smallConfig(), Technique::Linux);
+
+    std::atomic<unsigned> starts{0};
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.progress = false;
+    opts.onRunStart = [&](const RunRequest &req) {
+        ++starts;
+        if (req.row == "b")
+            throw std::runtime_error("injected failure");
+    };
+    std::vector<std::string> failures;
+    const SweepResults results =
+        SweepRunner(opts).runPartial(sweep, failures);
+
+    EXPECT_EQ(starts.load(), 2u);
+    EXPECT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results.has("a/Linux"));
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0], "b/Linux: injected failure");
+}
+
+TEST(SweepFailure, AggregatesEveryConcurrentFailure)
+{
+    // Two workers claim both runs before either fails; the old
+    // runner reported only whichever failure it noticed first.
+    Sweep sweep;
+    sweep.add("a", "Linux", smallConfig(), Technique::Linux);
+    sweep.add("b", "Linux", smallConfig(), Technique::Linux);
+
+    std::latch both_claimed(2);
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    opts.onRunStart = [&](const RunRequest &req) {
+        both_claimed.arrive_and_wait();
+        throw std::runtime_error("boom-" + req.row);
+    };
+    std::vector<std::string> failures;
+    const SweepResults results =
+        SweepRunner(opts).runPartial(sweep, failures);
+
+    EXPECT_EQ(results.size(), 0u);
+    ASSERT_EQ(failures.size(), 2u);
+    const std::string joined = failures[0] + "; " + failures[1];
+    EXPECT_NE(joined.find("a/Linux: boom-a"), std::string::npos);
+    EXPECT_NE(joined.find("b/Linux: boom-b"), std::string::npos);
+}
+
+TEST(SweepFailureDeath, RunFatalNamesFailedLabel)
+{
+    Sweep sweep;
+    sweep.add("row", "bad", smallConfig(), Technique::Linux);
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.progress = false;
+    opts.onRunStart = [](const RunRequest &) {
+        throw std::runtime_error("injected failure");
+    };
+    EXPECT_DEATH((void)SweepRunner(opts).run(sweep),
+                 "sweep run failed.*row/bad: injected failure");
+}
+
+TEST(SweepReportDeath, MissingRunResultNamesLabel)
+{
+    // The old lookups died with a bare "no sweep result labelled"
+    // (or worse, relied on map::at); the report must say which run
+    // is missing from which report path.
+    Sweep sweep;
+    sweep.add("row", "run", smallConfig(), Technique::Linux);
+    const SweepResults empty;
+    const SweepReport report(sweep, empty);
+    EXPECT_DEATH(
+        (void)report.matrixAbsolute(
+            [](const RunResult &) { return 0.0; }),
+        "missing run result 'row/run'");
+}
+
+TEST(SweepReportDeath, MissingBaselineResultNamesRun)
+{
+    Sweep sweep;
+    sweep.addComparison("row", "SchedTask", smallConfig(),
+                        Technique::SchedTask);
+    const SweepResults empty;
+    const SweepReport report(sweep, empty);
+    EXPECT_DEATH((void)report.appPerfChange(),
+                 "missing baseline result '.*' for run "
+                 "'row/SchedTask'");
+}
+
+namespace
+{
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+} // namespace
+
+TEST(SweepTrace, TraceDirWritesValidFilesWithoutPerturbingResults)
+{
+    const std::string dir =
+        ::testing::TempDir() + "schedtask_sweep_traces";
+
+    const auto build = [] {
+        Sweep sweep;
+        sweep.add("row", "SchedTask", smallConfig(),
+                  Technique::SchedTask);
+        return sweep;
+    };
+    SweepOptions plain;
+    plain.jobs = 1;
+    plain.progress = false;
+    SweepOptions traced = plain;
+    traced.traceDir = dir;
+
+    const SweepResults with = SweepRunner(traced).run(build());
+    const SweepResults without = SweepRunner(plain).run(build());
+    expectBitwiseEqual(with.at("row", "SchedTask"),
+                       without.at("row", "SchedTask"));
+
+    // Labels are flattened ('/' -> '_') into one file pair per run.
+    const std::string stem = dir + "/row_SchedTask";
+    const std::string chrome = readFileOrEmpty(stem + ".trace.json");
+    const std::string jsonl = readFileOrEmpty(stem + ".jsonl");
+    std::string error;
+    ASSERT_FALSE(chrome.empty());
+    EXPECT_TRUE(validateJson(chrome, &error)) << error;
+    EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+    ASSERT_FALSE(jsonl.empty());
+    EXPECT_TRUE(validateJsonLines(jsonl, &error)) << error;
 }

@@ -11,6 +11,12 @@
 #                    for any value; only the wall-clock changes.
 #   SCHEDTASK_FAST   set to 1 for a quick smoke pass with shrunken
 #                    measurement windows (numbers will differ).
+#   SCHEDTASK_TRACE  set to 1 to also write epoch telemetry for
+#                    every simulation: one Chrome trace
+#                    (.trace.json, open in ui.perfetto.dev) plus a
+#                    JSONL file per run, under
+#                    <output-dir>/traces/<figure>/. Tracing is pure
+#                    observation; the figure numbers are unchanged.
 #
 # Output: one .txt per figure in the output dir (default
 # build/figures), plus timings.txt with the per-figure wall-clock.
@@ -50,7 +56,12 @@ echo "jobs: ${SCHEDTASK_JOBS:-$(nproc) (default)}" | tee -a "$timings"
 total_start=$SECONDS
 for fig in "${figures[@]}"; do
     start=$SECONDS
-    ./build/bench/"$fig" > "$outdir/$fig.txt"
+    if [[ "${SCHEDTASK_TRACE:-0}" == 1 ]]; then
+        SCHEDTASK_TRACE_DIR="$outdir/traces/$fig" \
+            ./build/bench/"$fig" > "$outdir/$fig.txt"
+    else
+        ./build/bench/"$fig" > "$outdir/$fig.txt"
+    fi
     elapsed=$((SECONDS - start))
     printf '%-28s %5ds\n' "$fig" "$elapsed" | tee -a "$timings"
 done

@@ -3,8 +3,8 @@
  * schedtask-sim: command-line front end to the simulator.
  *
  * Runs one benchmark under one scheduling technique and prints the
- * headline metrics, optionally a full gem5-style stats dump and a
- * SuperFunction trace excerpt.
+ * headline metrics, optionally a full gem5-style stats dump, epoch
+ * telemetry exports and a SuperFunction trace excerpt.
  *
  * Usage:
  *   schedtask-sim [options]
@@ -19,6 +19,7 @@
  *     --scale X          workload scale (default 2.0)
  *     --warmup N         warmup epochs (default 4)
  *     --measure N        measured epochs (default 6)
+ *     --fast             shortcut for --warmup 1 --measure 2
  *     --heatmap-bits N   Page-heatmap width (default 512)
  *     --steal POLICY     none|same|similar|busiest (default similar)
  *     --seed N           master seed (default 1)
@@ -28,9 +29,18 @@
  *     --json             print the stats dump as JSON
  *     --viz              print per-core utilization bars and
  *                        (SchedTask) the allocation table
- *     --trace [TID]      print a SuperFunction trace excerpt
+ *     --trace [FILE]     write a Chrome trace-event file of the
+ *                        measured epochs (default
+ *                        schedtask.trace.json); open in Perfetto
+ *     --trace-jsonl FILE write epoch telemetry as JSON Lines
+ *     --trace-dir DIR    with --compare: per-run trace files under
+ *                        DIR (one pair per run label)
+ *     --sf-trace [TID]   print a SuperFunction trace excerpt
  *     --compare          also run the Linux baseline and print deltas
  *     --help
+ *
+ * Invalid numeric flag values (e.g. "--cores xyz") are rejected
+ * with exit code 2 instead of being silently read as 0.
  */
 
 #include <cstdio>
@@ -39,10 +49,12 @@
 #include <optional>
 #include <string>
 
+#include "common/parse_num.hh"
 #include "core/schedtask_sched.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "harness/sweep.hh"
+#include "harness/trace_export.hh"
 #include "harness/visualize.hh"
 #include "sim/machine.hh"
 #include "sim/sf_trace.hh"
@@ -69,6 +81,7 @@ usage(int code)
         "  --scale X          workload scale (default 2.0)\n"
         "  --warmup N         warmup epochs (default 4)\n"
         "  --measure N        measured epochs (default 6)\n"
+        "  --fast             shortcut for --warmup 1 --measure 2\n"
         "  --heatmap-bits N   Page-heatmap width (default 512)\n"
         "  --steal POLICY     none|same|similar|busiest\n"
         "  --seed N           master seed (default 1)\n"
@@ -79,7 +92,12 @@ usage(int code)
         "  --json             print the stats dump as JSON\n"
         "  --viz              print per-core utilization bars and\n"
         "                     (SchedTask) the allocation table\n"
-        "  --trace [TID]      print a SuperFunction trace excerpt\n"
+        "  --trace [FILE]     write a Chrome trace-event file of the\n"
+        "                     measured epochs (default\n"
+        "                     schedtask.trace.json); open in Perfetto\n"
+        "  --trace-jsonl FILE write epoch telemetry as JSON Lines\n"
+        "  --trace-dir DIR    with --compare: per-run traces in DIR\n"
+        "  --sf-trace [TID]   print a SuperFunction trace excerpt\n"
         "  --compare          also run the Linux baseline\n");
     std::exit(code);
 }
@@ -96,6 +114,37 @@ parseTechnique(const std::string &name)
     }
     std::fprintf(stderr, "unknown technique: %s\n", name.c_str());
     std::exit(2);
+}
+
+/** Strictly parsed unsigned flag value; exits 2 on bad input. */
+std::uint64_t
+requireUnsigned(const char *flag, const char *text, std::uint64_t min)
+{
+    const std::optional<std::uint64_t> value = parseUnsigned(text);
+    if (!value || *value < min) {
+        std::fprintf(stderr,
+                     "schedtask-sim: invalid value '%s' for %s "
+                     "(expected an unsigned integer >= %llu)\n",
+                     text, flag,
+                     static_cast<unsigned long long>(min));
+        std::exit(2);
+    }
+    return *value;
+}
+
+/** Strictly parsed positive double flag value; exits 2 on bad input. */
+double
+requirePositiveDouble(const char *flag, const char *text)
+{
+    const std::optional<double> value = parseDouble(text);
+    if (!value || *value <= 0.0) {
+        std::fprintf(stderr,
+                     "schedtask-sim: invalid value '%s' for %s "
+                     "(expected a number > 0)\n",
+                     text, flag);
+        std::exit(2);
+    }
+    return *value;
 }
 
 /** The headline-metrics table shared by both run paths. */
@@ -157,8 +206,11 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     bool want_stats = false, want_compare = false;
     bool want_json = false, want_viz = false;
-    std::optional<ThreadId> trace_tid;
-    bool want_trace = false;
+    std::optional<ThreadId> sf_trace_tid;
+    bool want_sf_trace = false;
+    std::optional<std::string> trace_file;
+    std::optional<std::string> trace_jsonl_file;
+    std::string trace_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -176,21 +228,29 @@ main(int argc, char **argv)
         } else if (arg == "--technique") {
             technique = parseTechnique(next());
         } else if (arg == "--cores") {
-            cores = static_cast<unsigned>(std::atoi(next()));
+            cores = static_cast<unsigned>(
+                requireUnsigned("--cores", next(), 1));
         } else if (arg == "--scale") {
-            scale = std::atof(next());
+            scale = requirePositiveDouble("--scale", next());
         } else if (arg == "--warmup") {
-            warmup = static_cast<unsigned>(std::atoi(next()));
+            warmup = static_cast<unsigned>(
+                requireUnsigned("--warmup", next(), 0));
         } else if (arg == "--measure") {
-            measure = static_cast<unsigned>(std::atoi(next()));
+            measure = static_cast<unsigned>(
+                requireUnsigned("--measure", next(), 1));
+        } else if (arg == "--fast") {
+            warmup = 1;
+            measure = 2;
         } else if (arg == "--heatmap-bits") {
-            heatmap_bits = static_cast<unsigned>(std::atoi(next()));
+            heatmap_bits = static_cast<unsigned>(
+                requireUnsigned("--heatmap-bits", next(), 1));
         } else if (arg == "--steal") {
             steal = parseSteal(next());
         } else if (arg == "--seed") {
-            seed = static_cast<std::uint64_t>(std::atoll(next()));
+            seed = requireUnsigned("--seed", next(), 0);
         } else if (arg == "--jobs") {
-            jobs = static_cast<unsigned>(std::atoi(next()));
+            jobs = static_cast<unsigned>(
+                requireUnsigned("--jobs", next(), 1));
         } else if (arg == "--stats") {
             want_stats = true;
         } else if (arg == "--json") {
@@ -200,10 +260,19 @@ main(int argc, char **argv)
         } else if (arg == "--compare") {
             want_compare = true;
         } else if (arg == "--trace") {
-            want_trace = true;
+            trace_file = "schedtask.trace.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                trace_file = argv[++i];
+        } else if (arg == "--trace-jsonl") {
+            trace_jsonl_file = next();
+        } else if (arg == "--trace-dir") {
+            trace_dir = next();
+        } else if (arg == "--sf-trace") {
+            want_sf_trace = true;
             if (i + 1 < argc && argv[i + 1][0] != '-') {
-                trace_tid = static_cast<ThreadId>(
-                    std::atoi(argv[++i]));
+                const std::uint64_t tid = requireUnsigned(
+                    "--sf-trace", argv[++i], 0);
+                sf_trace_tid = static_cast<ThreadId>(tid);
             }
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -224,14 +293,17 @@ main(int argc, char **argv)
     const std::string run_name(techniqueName(technique));
     const std::string title =
         run_name + " on " + (bag ? *bag : benchmark);
-    const bool needs_machine =
-        want_stats || want_json || want_viz || want_trace;
+    const bool wants_trace_files =
+        trace_file.has_value() || trace_jsonl_file.has_value();
+    const bool needs_machine = want_stats || want_json || want_viz
+        || want_sf_trace || wants_trace_files;
 
     if (!needs_machine) {
         // No stats/viz/trace attachments requested: go through the
         // sweep API, so --compare runs the Linux baseline and the
         // technique on concurrent worker threads (--jobs or
         // SCHEDTASK_JOBS; both runs still see --seed verbatim).
+        // --trace-dir writes one trace-file pair per run label.
         Sweep sweep;
         sweep.deriveSeeds(false);
         if (want_compare && technique != Technique::Linux)
@@ -241,6 +313,7 @@ main(int argc, char **argv)
         SweepOptions opts;
         opts.jobs = jobs;
         opts.progress = false;
+        opts.traceDir = trace_dir;
         const SweepResults results = SweepRunner(opts).run(sweep);
         const RunResult &r = results.at("run", run_name);
 
@@ -260,6 +333,10 @@ main(int argc, char **argv)
                         percentChange(base.appPerformance(),
                                       r.appPerformance()));
         }
+        if (!trace_dir.empty()) {
+            std::printf("epoch traces written under %s/\n",
+                        trace_dir.c_str());
+        }
         return 0;
     }
 
@@ -270,12 +347,13 @@ main(int argc, char **argv)
     auto sched = makeScheduler(technique, cfg.schedTask);
     MachineParams mp = cfg.machine;
     mp.numCores = sched->coresRequired(cfg.baselineCores);
+    mp.trace = wants_trace_files;
     Machine machine(mp, cfg.hierarchy, suite, workload, *sched);
 
     machine.run(static_cast<Cycles>(warmup) * mp.epochCycles);
     machine.resetStats();
     SfTracer tracer(1 << 18);
-    if (want_trace)
+    if (want_sf_trace)
         machine.attachTracer(&tracer);
     machine.run(static_cast<Cycles>(measure) * mp.epochCycles);
 
@@ -322,10 +400,32 @@ main(int argc, char **argv)
         }
     }
 
-    if (want_trace) {
+    if (wants_trace_files) {
+        try {
+            if (trace_file) {
+                writeTextFile(*trace_file,
+                              chromeTraceJson(m.epochSamples,
+                                              mp.coreFrequencyGHz));
+                std::printf("chrome trace written to %s "
+                            "(open in ui.perfetto.dev)\n",
+                            trace_file->c_str());
+            }
+            if (trace_jsonl_file) {
+                writeTextFile(*trace_jsonl_file,
+                              epochTraceJsonl(m.epochSamples));
+                std::printf("epoch telemetry written to %s\n",
+                            trace_jsonl_file->c_str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "schedtask-sim: %s\n", e.what());
+            return 1;
+        }
+    }
+
+    if (want_sf_trace) {
         std::printf("%s\n",
                     tracer
-                        .render(trace_tid.value_or(invalidThread),
+                        .render(sf_trace_tid.value_or(invalidThread),
                                 60)
                         .c_str());
     }
