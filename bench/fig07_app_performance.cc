@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
@@ -24,20 +25,58 @@
 
 using namespace schedtask;
 
-int
-main()
+namespace
 {
-    printHeader("Figure 7: change in application performance (%) "
-                "vs Linux baseline, 2X workload");
 
-    const Sweep sweep = Sweep::standardCross();
+/**
+ * `--fast` shrinks every run (8 cores, one warmup + two measured
+ * epochs, 1X scale) so the whole cross finishes in seconds. The
+ * numbers are not the paper's, but the run exercises every technique
+ * and benchmark; tools/check.sh uses it to compare the checked
+ * preset against the default build bit for bit.
+ */
+Sweep
+fastCross()
+{
+    return Sweep::cross(BenchmarkSuite::benchmarkNames(),
+                        comparedTechniques(),
+                        [](const std::string &bench) {
+                            return ExperimentConfig::standard(bench, 1.0)
+                                .withCores(8)
+                                .withEpochs(1, 2);
+                        });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool fast = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0) {
+            fast = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--fast]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    printHeader(fast
+                ? "Figure 7 (fast smoke): change in application "
+                  "performance (%) vs Linux baseline, 1X workload"
+                : "Figure 7: change in application performance (%) "
+                  "vs Linux baseline, 2X workload");
+
+    const Sweep sweep = fast ? fastCross() : Sweep::standardCross();
     const SweepResults results = SweepRunner().run(sweep);
     const SeriesMatrix matrix =
         SweepReport(sweep, results).appPerfChange();
 
     std::printf("%s\n", matrix.renderWithGmean("benchmark").c_str());
-    std::printf("Paper gmean reference: SelectiveOffload +10.6, "
-                "FlexSC -75 (single-threaded collapse), "
-                "DisAggregateOS +9.5, SLICC +11.4, SchedTask +22.8\n");
+    if (!fast)
+        std::printf("Paper gmean reference: SelectiveOffload +10.6, "
+                    "FlexSC -75 (single-threaded collapse), "
+                    "DisAggregateOS +9.5, SLICC +11.4, SchedTask +22.8\n");
     return 0;
 }

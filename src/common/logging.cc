@@ -13,6 +13,32 @@ namespace
 // Atomic so concurrent sweep workers can log while a test toggles
 // quiet mode; fprintf itself is thread-safe per POSIX.
 std::atomic<bool> logQuiet{false};
+
+// Where the simulation currently is, for panic messages.
+// Thread-local: each sweep worker runs its own machine.
+struct PanicContext
+{
+    bool active = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t cycle = 0;
+    const char *sfType = nullptr;
+};
+thread_local PanicContext panicContext;
+
+std::string
+panicContextSuffix()
+{
+    if (!panicContext.active)
+        return "";
+    std::string s = " [epoch " + std::to_string(panicContext.epoch)
+        + ", cycle " + std::to_string(panicContext.cycle);
+    if (panicContext.sfType != nullptr) {
+        s += ", sf ";
+        s += panicContext.sfType;
+    }
+    s += "]";
+    return s;
+}
 }
 
 void
@@ -21,15 +47,36 @@ setLogQuiet(bool quiet)
     logQuiet = quiet;
 }
 
+void
+notePanicContext(std::uint64_t epoch, std::uint64_t cycle)
+{
+    panicContext.active = true;
+    panicContext.epoch = epoch;
+    panicContext.cycle = cycle;
+}
+
+void
+notePanicSfType(const char *name)
+{
+    panicContext.sfType = name;
+}
+
+void
+clearPanicContext()
+{
+    panicContext = PanicContext{};
+}
+
 namespace detail
 {
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fprintf(stderr, "panic: %s%s (%s:%d)\n", msg.c_str(),
+                 panicContextSuffix().c_str(), file, line);
     std::fflush(stderr);
-    std::abort();
+    std::abort(); // lint:allow(SAFE-02) panicImpl is the one legal abort
 }
 
 void

@@ -13,6 +13,7 @@
 #ifndef SCHEDTASK_COMMON_LOGGING_HH
 #define SCHEDTASK_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -79,6 +80,22 @@ inform(Args &&...args)
 
 /** Silence or restore warn()/inform() output (used by tests). */
 void setLogQuiet(bool quiet);
+
+/**
+ * Thread-local simulation position, appended to panic/assert
+ * messages so an invariant trip inside the machine loop is
+ * diagnosable from a CI log ("[epoch 3, cycle 812500, sf read]").
+ * The machine updates it every quantum; each sweep worker thread
+ * carries its own context.
+ */
+void notePanicContext(std::uint64_t epoch, std::uint64_t cycle);
+
+/** Name of the superFuncType now executing (nullptr when idle).
+ *  The pointer must outlive the run (SfTypeInfo names do). */
+void notePanicSfType(const char *name);
+
+/** Drop the context (end of a run, or leaving the machine loop). */
+void clearPanicContext();
 
 } // namespace schedtask
 

@@ -198,6 +198,10 @@ AllocTable::types() const
     out.reserve(map_.size());
     for (const auto &[raw, cores] : map_)
         out.push_back(SfType::fromRaw(raw));
+    // map_ is unordered; sort so every consumer (trace export, the
+    // allocation view, IRQ route programming) sees a stable order.
+    std::sort(out.begin(), out.end(),
+              [](SfType a, SfType b) { return a.raw() < b.raw(); });
     return out;
 }
 
@@ -216,6 +220,30 @@ AllocTable::sameShape(const AllocTable &other) const
     return true;
 }
 
+void
+AllocTable::checkCoverage(unsigned num_cores) const
+{
+    std::vector<bool> covered(num_cores, false);
+    for (const auto &[raw, cores] : map_) {
+        SCHEDTASK_ASSERT(!cores.empty(), "type ", raw,
+                         " allocated an empty core list");
+        std::vector<bool> seen(num_cores, false);
+        for (CoreId c : cores) {
+            SCHEDTASK_ASSERT(c < num_cores, "type ", raw,
+                             " allocated invalid core ", c);
+            SCHEDTASK_ASSERT(!seen[c], "type ", raw,
+                             " allocated core ", c, " twice");
+            seen[c] = true;
+            covered[c] = true;
+        }
+    }
+    if (map_.empty())
+        return;
+    for (unsigned c = 0; c < num_cores; ++c)
+        SCHEDTASK_ASSERT(covered[c], "core ", c,
+                         " left out of a non-empty allocation");
+}
+
 std::vector<SfType>
 AllocTable::typesOnCore(CoreId core) const
 {
@@ -224,6 +252,8 @@ AllocTable::typesOnCore(CoreId core) const
         if (std::find(cores.begin(), cores.end(), core) != cores.end())
             out.push_back(SfType::fromRaw(raw));
     }
+    std::sort(out.begin(), out.end(),
+              [](SfType a, SfType b) { return a.raw() < b.raw(); });
     return out;
 }
 

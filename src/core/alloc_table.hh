@@ -86,6 +86,17 @@ class AllocTable
      */
     bool sameShape(const AllocTable &other) const;
 
+    /**
+     * Structural self-check (checked builds; common/invariants.hh):
+     * every allocated core id is < num_cores, no type lists a core
+     * twice, no type has an empty core list, and — since pass 3 of
+     * build() absorbs leftover cores — a non-empty table covers the
+     * whole core set. Cores may be shared between light types, so
+     * this is a cover, not a disjoint partition. Panics on
+     * violation.
+     */
+    void checkCoverage(unsigned num_cores) const;
+
   private:
     std::unordered_map<std::uint64_t, std::vector<CoreId>> map_;
 };

@@ -109,9 +109,15 @@ OverlapTable::mergedPeers(const std::vector<SfType> &local_types) const
     merged.reserve(best.size());
     for (const auto &[raw, ov] : best)
         merged.push_back(OverlapPeer{SfType::fromRaw(raw), ov});
+    // Tie-break on the type id: `best` is an unordered_map, so
+    // without a total order equal-overlap peers would come back in
+    // hash order and steal decisions would vary across libstdc++
+    // versions.
     std::stable_sort(merged.begin(), merged.end(),
                      [](const OverlapPeer &x, const OverlapPeer &y) {
-                         return x.overlap > y.overlap;
+                         if (x.overlap != y.overlap)
+                             return x.overlap > y.overlap;
+                         return x.type.raw() < y.type.raw();
                      });
     return merged;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/invariants.hh"
 #include "common/logging.hh"
 #include "common/math_utils.hh"
 
@@ -167,6 +168,9 @@ TAlloc::run(std::vector<StatsTable> &per_core_stats,
         basis_order_ = order;
         prev_breakup_ = breakup;
     }
+
+    if constexpr (checkedBuild)
+        result.alloc.checkCoverage(num_cores_);
 
     // 5. Interrupt routing: each interrupt type's first allocated
     //    core services its vector (Section 5.2).

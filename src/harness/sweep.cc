@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/parse_num.hh"
 #include "harness/trace_export.hh"
 
 namespace schedtask
@@ -161,9 +162,8 @@ defaultJobs()
 {
     if (const char *env = std::getenv("SCHEDTASK_JOBS");
         env != nullptr && env[0] != '\0') {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n >= 1)
-            return static_cast<unsigned>(n > 256 ? 256 : n);
+        if (const auto n = parseUnsigned(env); n && *n >= 1)
+            return static_cast<unsigned>(*n > 256 ? 256 : *n);
         warn("ignoring invalid SCHEDTASK_JOBS value '", env, "'");
     }
     const unsigned hw = std::thread::hardware_concurrency();
@@ -373,6 +373,7 @@ SweepRunner::runPartial(const Sweep &sweep,
     std::atomic<bool> failed{false};
     std::size_t done = 0;
     std::mutex mutex; // results, progress counter, failures
+    // lint:allow(DET-01) wall-clock is progress logging only
     const auto start = std::chrono::steady_clock::now();
 
     auto worker = [&]() {
@@ -405,6 +406,7 @@ SweepRunner::runPartial(const Sweep &sweep,
                 if (options_.progress) {
                     const double secs =
                         std::chrono::duration<double>(
+                            // lint:allow(DET-01) progress display only
                             std::chrono::steady_clock::now() - start)
                             .count();
                     std::fprintf(stderr,

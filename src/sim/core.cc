@@ -8,6 +8,16 @@
 namespace schedtask
 {
 
+namespace
+{
+/** Clears the panic-context SF name when execution leaves the SF,
+ *  whichever of executeCurrent's exits is taken. */
+struct SfTypeContextGuard
+{
+    ~SfTypeContextGuard() { notePanicSfType(nullptr); }
+};
+} // namespace
+
 Core::Core(CoreId id, Machine &machine, unsigned heatmap_bits, Rng rng)
     : id_(id), m_(machine), heatmap_(heatmap_bits), rng_(rng)
 {
@@ -193,6 +203,8 @@ Core::executeCurrent(Cycles limit)
 {
     SuperFunction *sf = current_;
     const SfTypeInfo &info = *sf->info;
+    notePanicSfType(info.name.c_str());
+    const SfTypeContextGuard sf_ctx_guard;
     const ExecClass cls = info.category == SfCategory::Application
         ? ExecClass::App : ExecClass::Os;
     const MachineParams &p = m_.params();

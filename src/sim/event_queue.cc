@@ -1,5 +1,8 @@
 #include "sim/event_queue.hh"
 
+#include "common/invariants.hh"
+#include "common/logging.hh"
+
 namespace schedtask
 {
 
@@ -13,6 +16,15 @@ void
 EventQueue::runDue(Cycles now)
 {
     while (!heap_.empty() && heap_.top().when <= now) {
+        if constexpr (checkedBuild) {
+            // An event scheduled in the past would fire after later
+            // events already did — time would run backwards.
+            SCHEDTASK_ASSERT(heap_.top().when >= last_fired_,
+                             "event at cycle ", heap_.top().when,
+                             " fires after one at cycle ",
+                             last_fired_);
+        }
+        last_fired_ = heap_.top().when;
         // Copy the action out before popping: the action may
         // schedule new events and reallocate the heap.
         Action action = heap_.top().action;
@@ -32,6 +44,7 @@ EventQueue::clear()
 {
     while (!heap_.empty())
         heap_.pop();
+    last_fired_ = 0;
 }
 
 } // namespace schedtask

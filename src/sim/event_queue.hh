@@ -66,6 +66,9 @@ class EventQueue
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     std::uint64_t next_seq_ = 0;
+    /** Timestamp of the last fired event (checked builds assert
+     *  events never fire out of time order). */
+    Cycles last_fired_ = 0;
 };
 
 } // namespace schedtask

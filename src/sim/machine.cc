@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/invariants.hh"
 #include "common/logging.hh"
 
 namespace schedtask
@@ -70,6 +71,7 @@ Machine::run(Cycles duration)
 {
     const Cycles end = now_ + duration;
     while (now_ < end) {
+        notePanicContext(epochs_done_, now_);
         const Cycles qend =
             std::min({now_ + params_.quantum, end, next_epoch_});
         events_.runDue(now_);
@@ -98,12 +100,76 @@ Machine::run(Cycles duration)
                 metrics_.epochTypeInsts.push_back(epoch_insts_);
                 epoch_insts_.clear();
             }
+            if constexpr (checkedBuild)
+                checkEpochInvariants();
             if (epoch_trace_)
                 captureEpochSample();
             next_epoch_ += params_.epochCycles;
+            ++epochs_done_;
         }
     }
+    clearPanicContext();
     metrics_.cycles += duration;
+}
+
+void
+Machine::checkEpochInvariants() const
+{
+    // Instruction accounting balances: every retired instruction is
+    // either in exactly one category (recordInsts) or overhead
+    // (recordOverheadInsts).
+    std::uint64_t by_category = 0;
+    for (std::uint64_t v : metrics_.instsByCategory)
+        by_category += v;
+    SCHEDTASK_ASSERT(by_category + metrics_.overheadInsts
+                         == metrics_.instsRetired,
+                     "instruction accounting out of balance: ",
+                     by_category, " by category + ",
+                     metrics_.overheadInsts, " overhead != ",
+                     metrics_.instsRetired, " retired");
+
+    // Idle cycles sum per core.
+    std::uint64_t core_idle = 0;
+    for (std::uint64_t v : metrics_.perCoreIdleCycles)
+        core_idle += v;
+    SCHEDTASK_ASSERT(core_idle == metrics_.idleCycles,
+                     "per-core idle sum ", core_idle,
+                     " != total idle ", metrics_.idleCycles);
+
+    // Every heatmap register's popcount fits its width, and the
+    // hardware hash agrees with a straightforwardly-written
+    // reference (paper Section 3.2: six 9-bit-stride shifts).
+    for (const auto &core : cores_) {
+        const PageHeatmap &hm = core->heatmapRegister();
+        SCHEDTASK_ASSERT(hm.popcount() <= hm.bits(),
+                         "heatmap popcount ", hm.popcount(),
+                         " exceeds register width ", hm.bits());
+    }
+    for (const Addr pfn : {Addr{0}, Addr{1}, Addr{0x12345},
+                           Addr{0xfffffffffffff}}) {
+        std::uint64_t ref = 0;
+        for (unsigned k = 0; k < 6; ++k)
+            ref += pfn >> (9 * k);
+        SCHEDTASK_ASSERT(PageHeatmap::hashPfn(pfn) == ref,
+                         "heatmap hash diverges from the paper "
+                         "formula for pfn ", pfn);
+    }
+
+    // In trace mode the per-core category accumulator must equal the
+    // epoch's non-overhead instruction delta (recordInsts feeds both
+    // from the same argument).
+    if (epoch_trace_) {
+        std::uint64_t acc = 0;
+        for (const EpochCoreSample &cs : epoch_core_acc_)
+            for (std::uint64_t v : cs.instsByCategory)
+                acc += v;
+        const std::uint64_t delta =
+            (metrics_.instsRetired - epoch_base_.insts)
+            - (metrics_.overheadInsts - epoch_base_.overhead);
+        SCHEDTASK_ASSERT(acc == delta,
+                         "per-core epoch accumulator ", acc,
+                         " != epoch instruction delta ", delta);
+    }
 }
 
 void

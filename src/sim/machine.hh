@@ -265,6 +265,16 @@ class Machine
     /** Capture one EpochSample at an epoch boundary (tracing). */
     void captureEpochSample();
 
+    /**
+     * Structural self-checks at an epoch boundary (checked builds;
+     * see common/invariants.hh): instruction accounting balances,
+     * idle cycles sum per core, heatmap popcounts fit the register,
+     * and in trace mode the per-core category accumulator matches
+     * the epoch's instruction delta. Called before the sample
+     * capture resets the accumulator and baseline.
+     */
+    void checkEpochInvariants() const;
+
     /** Reset the telemetry delta baseline to the current counters
      *  (all zero after a stats reset). */
     void resetEpochBaseline();
@@ -293,6 +303,7 @@ class Machine
 
     Cycles now_ = 0;
     Cycles next_epoch_ = 0;
+    std::uint64_t epochs_done_ = 0;
 
     SimMetrics metrics_;
     std::unordered_map<std::uint64_t, std::uint64_t> epoch_insts_;

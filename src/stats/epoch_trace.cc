@@ -1,5 +1,6 @@
 #include "stats/epoch_trace.hh"
 
+#include "common/invariants.hh"
 #include "common/logging.hh"
 
 namespace schedtask
@@ -14,6 +15,31 @@ EpochTrace::EpochTrace(std::size_t capacity) : capacity_(capacity)
 void
 EpochTrace::record(EpochSample sample)
 {
+    if constexpr (checkedBuild) {
+        SCHEDTASK_ASSERT(sample.index == total_,
+                         "epoch sample index ", sample.index,
+                         " != ", total_, " recorded so far");
+        SCHEDTASK_ASSERT(sample.endCycle >= sample.startCycle,
+                         "epoch sample runs backwards: [",
+                         sample.startCycle, ", ", sample.endCycle,
+                         ")");
+        SCHEDTASK_ASSERT(total_ == 0
+                             || sample.startCycle >= last_end_,
+                         "epoch sample starts at ",
+                         sample.startCycle,
+                         " before the previous end ", last_end_);
+        SCHEDTASK_ASSERT(sample.instsRetired >= sample.overheadInsts,
+                         "epoch overhead ", sample.overheadInsts,
+                         " exceeds retired ", sample.instsRetired);
+        const std::uint64_t span =
+            (sample.endCycle - sample.startCycle)
+            * sample.cores.size();
+        SCHEDTASK_ASSERT(sample.cores.empty()
+                             || sample.idleCycles <= span,
+                         "epoch idle ", sample.idleCycles,
+                         " exceeds ", span, " core-cycles");
+    }
+    last_end_ = sample.endCycle;
     if (ring_.size() < capacity_) {
         ring_.push_back(std::move(sample));
     } else {
@@ -51,6 +77,7 @@ EpochTrace::clear()
     head_ = 0;
     wrapped_ = false;
     total_ = 0;
+    last_end_ = 0;
 }
 
 } // namespace schedtask

@@ -155,6 +155,9 @@ class EpochTrace
     std::size_t head_ = 0;
     bool wrapped_ = false;
     std::uint64_t total_ = 0;
+    /** End cycle of the last recorded sample (checked builds verify
+     *  samples are contiguous and deltas non-negative). */
+    Cycles last_end_ = 0;
 };
 
 } // namespace schedtask

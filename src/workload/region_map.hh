@@ -15,9 +15,9 @@
 #define SCHEDTASK_WORKLOAD_REGION_MAP_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "common/types.hh"
 
@@ -58,7 +58,8 @@ class RegionMap
 
     /**
      * Allocate a fresh region. Size is rounded up to a whole page.
-     * Names must be unique.
+     * Names must be unique. The returned reference stays valid for
+     * the map's lifetime, across later allocations.
      */
     const Region &allocate(const std::string &name, std::uint64_t bytes);
 
@@ -74,7 +75,9 @@ class RegionMap
   private:
     static constexpr Addr firstBase_ = 0x10000; // skip page zero
     Addr next_ = firstBase_;
-    std::vector<Region> regions_;
+    // deque: callers hold `const Region &` across later allocate()
+    // calls, so growth must not invalidate references.
+    std::deque<Region> regions_;
     std::unordered_map<std::string, std::size_t> by_name_;
 };
 

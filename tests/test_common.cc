@@ -11,6 +11,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/math_utils.hh"
 #include "common/parse_num.hh"
 #include "common/random.hh"
@@ -261,4 +262,32 @@ TEST(ParseNum, DoubleRejectsGarbageAndNonFinite)
     EXPECT_FALSE(parseDouble("nan"));
     EXPECT_FALSE(parseDouble("inf"));
     EXPECT_FALSE(parseDouble("1e999"));
+}
+
+// ---- Panic context ---------------------------------------------------
+
+TEST(PanicContext, AppendedToPanicMessages)
+{
+    notePanicContext(3, 812500);
+    notePanicSfType("read");
+    EXPECT_DEATH(
+        SCHEDTASK_PANIC("invariant tripped"),
+        "invariant tripped \\[epoch 3, cycle 812500, sf read\\]");
+    clearPanicContext();
+}
+
+TEST(PanicContext, SfNameIsOptional)
+{
+    notePanicContext(7, 42);
+    notePanicSfType(nullptr);
+    EXPECT_DEATH(SCHEDTASK_PANIC("boom"),
+                 "boom \\[epoch 7, cycle 42\\]");
+    clearPanicContext();
+}
+
+TEST(PanicContext, ClearedContextPrintsPlainMessage)
+{
+    clearPanicContext();
+    EXPECT_DEATH(SCHEDTASK_PANIC("plain failure"),
+                 "plain failure \\(");
 }

@@ -55,6 +55,21 @@ TEST(RegionMap, LineAndPageCounts)
     EXPECT_EQ(r.lineAddr(1), r.base + lineBytes);
 }
 
+TEST(RegionMap, ReferencesSurviveLaterAllocations)
+{
+    RegionMap map;
+    const Region &first = map.allocate("first", pageBytes);
+    const Addr base = first.base;
+    // Enough growth to force any geometric reallocation scheme;
+    // allocate() promises reference stability (callers hold onto
+    // regions while composing footprints).
+    for (int i = 0; i < 200; ++i)
+        map.allocate("r" + std::to_string(i), pageBytes);
+    EXPECT_EQ(first.base, base);
+    EXPECT_EQ(first.name, "first");
+    EXPECT_EQ(first.bytes, pageBytes);
+}
+
 TEST(RegionMap, TotalBytesAccumulates)
 {
     RegionMap map;

@@ -210,6 +210,7 @@ TEST(SweepFluent, AggregateInitStillWorks)
         .parts = {{"Find", 1.0}},
         .warmupEpochs = 1,
         .measureEpochs = 1,
+        .schedTask = {},
     };
     EXPECT_EQ(cfg.baselineCores, 8u);
     EXPECT_EQ(cfg.parts.size(), 1u);
