@@ -6,7 +6,12 @@
  * on structural self-checks at every epoch boundary: instruction
  * accounting must balance, core allocations must cover the core
  * set, heatmap popcounts must fit the register, event and trace
- * timestamps must be monotone. Checks are written as
+ * timestamps must be monotone, and every cache level must be
+ * structurally sound — validBlocks() never exceeds sets * assoc and
+ * no set holds two valid copies of one tag
+ * (MemHierarchy::checkCacheInvariants, guarding against the
+ * invalidate-then-reinsert duplicate-line regression).
+ * Checks are written as
  *
  *     if constexpr (checkedBuild) { ... SCHEDTASK_ASSERT(...); }
  *

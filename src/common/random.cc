@@ -21,12 +21,6 @@ splitMix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-constexpr std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -36,53 +30,11 @@ Rng::Rng(std::uint64_t seed)
         word = splitMix64(s);
 }
 
-Rng::result_type
-Rng::operator()()
-{
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
-std::uint64_t
-Rng::below(std::uint64_t bound)
-{
-    SCHEDTASK_ASSERT(bound != 0, "Rng::below(0)");
-    // Lemire-style rejection-free multiply-shift; the bias for our
-    // bounds (<< 2^32) is far below anything observable.
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
-}
-
 std::uint64_t
 Rng::inRange(std::uint64_t lo, std::uint64_t hi)
 {
     SCHEDTASK_ASSERT(lo <= hi, "Rng::inRange with lo > hi");
     return lo + below(hi - lo + 1);
-}
-
-double
-Rng::uniform()
-{
-    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
 }
 
 std::uint64_t

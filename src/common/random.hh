@@ -7,12 +7,18 @@
  * The generator is xoshiro256** (Blackman & Vigna), which is fast
  * and has no observable bias for our use (footprint traversal,
  * inter-arrival jitter, workload synthesis).
+ *
+ * The per-draw members (operator(), below, uniform, chance) are
+ * inline: the simulator draws on every fetch block and every data
+ * access, so the call overhead is measurable in whole-figure runs.
  */
 
 #ifndef SCHEDTASK_COMMON_RANDOM_HH
 #define SCHEDTASK_COMMON_RANDOM_HH
 
 #include <cstdint>
+
+#include "common/logging.hh"
 
 namespace schedtask
 {
@@ -36,19 +42,53 @@ class Rng
     static constexpr result_type max() { return ~result_type{0}; }
 
     /** Next raw 64-bit value. */
-    result_type operator()();
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound). bound must be non-zero. */
-    std::uint64_t below(std::uint64_t bound);
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        SCHEDTASK_ASSERT(bound != 0, "Rng::below(0)");
+        // Lemire-style rejection-free multiply-shift; the bias for
+        // our bounds (<< 2^32) is far below anything observable.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::uint64_t inRange(std::uint64_t lo, std::uint64_t hi);
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw: true with probability p. */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /**
      * Geometrically distributed positive integer with the given
@@ -71,6 +111,12 @@ class Rng
     Rng split();
 
   private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t state_[4];
 };
 

@@ -26,13 +26,6 @@ PageHeatmap::hashPfn(Addr pfn)
         + (pfn >> 45);
 }
 
-void
-PageHeatmap::insertPfn(Addr pfn)
-{
-    const std::uint64_t bit = hashPfn(pfn) & (bits_ - 1);
-    words_[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
-}
-
 bool
 PageHeatmap::mightContainPfn(Addr pfn) const
 {
@@ -43,6 +36,9 @@ PageHeatmap::mightContainPfn(Addr pfn) const
 void
 PageHeatmap::clear()
 {
+    // The memo must not survive a clear: the memoized frame's bit is
+    // gone, so a repeat insert has to set it again.
+    last_pfn_ = noPfn;
     for (auto &w : words_)
         w = 0;
 }

@@ -43,8 +43,24 @@ class PageHeatmap
     /** The paper's PFN hash (sum of six 9-bit-stride shifts). */
     static std::uint64_t hashPfn(Addr pfn);
 
-    /** Record a committed instruction's physical frame number. */
-    void insertPfn(Addr pfn);
+    /**
+     * Record a committed instruction's physical frame number.
+     *
+     * Inline with a last-frame memo: the fetch stream is mostly
+     * sequential within a page (64 lines per frame), and re-setting
+     * an already-set bit is idempotent, so consecutive inserts of
+     * the same frame skip the hash and the word OR entirely. The
+     * resulting bit pattern is exactly that of the plain insert.
+     */
+    void
+    insertPfn(Addr pfn)
+    {
+        if (pfn == last_pfn_)
+            return;
+        last_pfn_ = pfn;
+        const std::uint64_t bit = hashPfn(pfn) & (bits_ - 1);
+        words_[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
+    }
 
     /** Record the page containing a byte address. */
     void insertAddr(Addr addr) { insertPfn(pageFrameOf(addr)); }
@@ -81,7 +97,13 @@ class PageHeatmap
     }
 
   private:
+    /** No-frame sentinel for the insert memo: physical frames are
+     *  at most 52 bits (Section 3.2), so ~0 is never a real PFN. */
+    static constexpr Addr noPfn = ~Addr{0};
+
     unsigned bits_;
+    /** Last frame inserted since the latest clear() (insert memo). */
+    Addr last_pfn_ = noPfn;
     std::vector<std::uint64_t> words_;
 };
 

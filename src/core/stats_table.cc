@@ -12,16 +12,30 @@ StatsTable::StatsTable(unsigned heatmap_bits)
 {
 }
 
-void
-StatsTable::record(SfType type, const SfTypeInfo *info, Cycles exec_time,
-                   std::uint64_t insts, const PageHeatmap &heatmap)
+StatsEntry &
+StatsTable::rowFor(SfType type, const SfTypeInfo *info)
 {
+    // Slices of one superFuncType arrive in bursts (the same type
+    // is dispatched repeatedly within an epoch), so memoize the last
+    // row. Element addresses in an unordered_map are stable across
+    // rehashes, so the pointer stays valid until clear().
+    if (last_row_ != nullptr && last_raw_ == type.raw())
+        return *last_row_;
     auto it = rows_.find(type.raw());
     if (it == rows_.end()) {
         it = rows_.emplace(type.raw(), StatsEntry(heatmap_bits_)).first;
         it->second.info = info;
     }
-    StatsEntry &e = it->second;
+    last_raw_ = type.raw();
+    last_row_ = &it->second;
+    return it->second;
+}
+
+void
+StatsTable::record(SfType type, const SfTypeInfo *info, Cycles exec_time,
+                   std::uint64_t insts, const PageHeatmap &heatmap)
+{
+    StatsEntry &e = rowFor(type, info);
     ++e.freq;
     e.execTime += exec_time;
     e.insts += insts;
@@ -32,12 +46,7 @@ StatsTable::record(SfType type, const SfTypeInfo *info, Cycles exec_time,
 void
 StatsTable::recordWait(SfType type, const SfTypeInfo *info, Cycles wait)
 {
-    auto it = rows_.find(type.raw());
-    if (it == rows_.end()) {
-        it = rows_.emplace(type.raw(), StatsEntry(heatmap_bits_)).first;
-        it->second.info = info;
-    }
-    it->second.queueWait += wait;
+    rowFor(type, info).queueWait += wait;
 }
 
 void
@@ -63,6 +72,7 @@ StatsTable::aggregateFrom(const StatsTable &other)
 void
 StatsTable::clear()
 {
+    last_row_ = nullptr;
     rows_.clear();
 }
 

@@ -105,8 +105,14 @@ class StatsTable
     unsigned heatmapBits() const { return heatmap_bits_; }
 
   private:
+    /** Find-or-create a row, memoizing the last one touched. */
+    StatsEntry &rowFor(SfType type, const SfTypeInfo *info);
+
     unsigned heatmap_bits_;
     std::unordered_map<std::uint64_t, StatsEntry> rows_;
+    /** Memo of the row last returned by rowFor (null after clear). */
+    std::uint64_t last_raw_ = 0;
+    StatsEntry *last_row_ = nullptr;
 };
 
 } // namespace schedtask

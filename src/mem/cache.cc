@@ -29,66 +29,49 @@ Cache::Cache(const CacheParams &params)
                      "cache size must be a multiple of assoc * block size");
     num_sets_ = params_.sizeBytes / (params_.blockBytes * params_.assoc);
     SCHEDTASK_ASSERT(num_sets_ > 0, "cache must have at least one set");
-    block_shift_ = log2Exact(params_.blockBytes);
     // Non-power-of-two set counts are allowed (e.g. a 24-entry TLB);
     // the index is then a modulo rather than a mask.
+    set_mask_ = (num_sets_ & (num_sets_ - 1)) == 0 ? num_sets_ - 1 : 0;
+    block_shift_ = log2Exact(params_.blockBytes);
+    lru_refresh_ = params_.replacement == ReplacementPolicy::Lru;
     ways_.resize(num_sets_ * params_.assoc);
 }
 
-std::uint64_t
-Cache::setIndexOf(Addr addr) const
+std::optional<Addr>
+Cache::insertTag(Addr tag)
 {
-    return (addr >> block_shift_) % num_sets_;
-}
+    const std::uint64_t base_index = setIndexOfTag(tag) * params_.assoc;
+    Way *base = &ways_[base_index];
 
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr >> block_shift_;
-}
-
-bool
-Cache::access(Addr addr)
-{
-    const std::uint64_t set = setIndexOf(addr);
-    const Addr tag = tagOf(addr);
-    Way *base = &ways_[set * params_.assoc];
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            // Fifo keeps the insertion stamp; Lru refreshes it.
-            if (params_.replacement == ReplacementPolicy::Lru)
-                base[w].lru = ++lru_clock_;
-            return true;
-        }
-    }
-    return false;
-}
-
-Addr
-Cache::insert(Addr addr)
-{
-    const std::uint64_t set = setIndexOf(addr);
-    const Addr tag = tagOf(addr);
-    Way *base = &ways_[set * params_.assoc];
-
+    // Scan *every* way for the tag before choosing a victim: an
+    // invalid hole (from invalidate()) before a still-resident copy
+    // must not shadow it, or the set ends up holding the same block
+    // twice (duplicate valid tags corrupt validBlocks() and LRU).
     Way *victim = nullptr;
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
+        if (base[w].lru == 0) {
+            if (victim == nullptr || victim->lru != 0)
+                victim = &base[w];
+            continue;
         }
         if (base[w].tag == tag) {
             // Already present (racy double-insert); just touch.
-            base[w].lru = ++lru_clock_;
-            return 0;
+            // Fifo keeps the original insertion stamp (the block is
+            // not re-inserted), matching the access() semantics.
+            if (lru_refresh_)
+                base[w].lru = ++lru_clock_;
+            mru_index_ = base_index + w;
+            return std::nullopt;
         }
         // Lru evicts the smallest timestamp; Fifo works identically
         // because insert() stamps but access() refreshes only under
-        // Lru (see access()).
-        if (victim == nullptr || base[w].lru < victim->lru)
+        // Lru (see access()). An invalid way, once found, always
+        // wins over any valid candidate.
+        if (victim == nullptr
+                || (victim->lru != 0 && base[w].lru < victim->lru))
             victim = &base[w];
     }
-    if (victim->valid
+    if (victim->lru != 0
             && params_.replacement == ReplacementPolicy::Random) {
         // 16-bit Galois LFSR: deterministic pseudo-random way.
         lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xb400u);
@@ -97,46 +80,30 @@ Cache::insert(Addr addr)
             victim = &base[(lfsr_ + 1) % params_.assoc];
     }
 
-    Addr evicted = 0;
-    if (victim->valid)
+    std::optional<Addr> evicted;
+    if (victim->lru != 0)
         evicted = victim->tag << block_shift_;
-    victim->valid = true;
     victim->tag = tag;
     victim->lru = ++lru_clock_;
+    mru_index_ = static_cast<std::uint64_t>(victim - ways_.data());
     return evicted;
 }
 
 bool
-Cache::contains(Addr addr) const
+Cache::containsSlow(Addr tag) const
 {
-    const std::uint64_t set = setIndexOf(addr);
-    const Addr tag = tagOf(addr);
-    const Way *base = &ways_[set * params_.assoc];
+    const Way *base = &ways_[setIndexOfTag(tag) * params_.assoc];
     for (unsigned w = 0; w < params_.assoc; ++w)
-        if (base[w].valid && base[w].tag == tag)
+        if (base[w].tag == tag && base[w].lru != 0)
             return true;
     return false;
-}
-
-void
-Cache::invalidate(Addr addr)
-{
-    const std::uint64_t set = setIndexOf(addr);
-    const Addr tag = tagOf(addr);
-    Way *base = &ways_[set * params_.assoc];
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].valid = false;
-            return;
-        }
-    }
 }
 
 void
 Cache::flush()
 {
     for (auto &w : ways_)
-        w.valid = false;
+        w.lru = 0;
 }
 
 std::uint64_t
@@ -144,8 +111,24 @@ Cache::validBlocks() const
 {
     std::uint64_t n = 0;
     for (const auto &w : ways_)
-        n += w.valid ? 1 : 0;
+        n += w.lru != 0 ? 1 : 0;
     return n;
+}
+
+bool
+Cache::tagsUnique() const
+{
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        const Way *base = &ways_[set * params_.assoc];
+        for (unsigned a = 0; a < params_.assoc; ++a) {
+            if (base[a].lru == 0)
+                continue;
+            for (unsigned b = a + 1; b < params_.assoc; ++b)
+                if (base[b].lru != 0 && base[b].tag == base[a].tag)
+                    return false;
+        }
+    }
+    return true;
 }
 
 } // namespace schedtask

@@ -6,12 +6,29 @@
  * dTLB (with page granularity), and for the trace cache. Only tags
  * are modelled — this is a trace-driven timing simulator, data
  * values never matter.
+ *
+ * This sits on the simulator's per-instruction hot path (every fetch
+ * block probes the iTLB and L1I, every data access the dTLB and
+ * L1D), so the lookup paths are engineered accordingly:
+ *
+ *  - the set index is a mask when the set count is a power of two
+ *    (every real configuration) instead of an integer division;
+ *  - an MRU fast path short-circuits the way scan when the probed
+ *    block is the one touched last (tags embed the set bits, so a
+ *    single compare suffices);
+ *  - ways are packed to 16 bytes (validity lives in the LRU stamp)
+ *    so a 4-way set scan touches one hardware cache line;
+ *  - access()/contains() are inline so cross-TU callers pay no call.
+ *
+ * All fast paths are exact: they produce bit-identical replacement
+ * state to the plain scan.
  */
 
 #ifndef SCHEDTASK_MEM_CACHE_HH
 #define SCHEDTASK_MEM_CACHE_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/types.hh"
@@ -46,7 +63,10 @@ struct CacheParams
  * A tag-only set-associative cache.
  *
  * Addresses passed in are full byte addresses; the cache derives the
- * block/tag split from its parameters.
+ * block/tag split from its parameters. Callers that already hold the
+ * block tag (addr >> blockShift, e.g. a hierarchy probing several
+ * line-grain levels with one precomputed tag) can use the *Tag
+ * variants directly and skip the per-level shift.
  */
 class Cache
 {
@@ -58,21 +78,74 @@ class Cache
      *
      * @return true on hit.
      */
-    bool access(Addr addr);
+    bool
+    access(Addr addr)
+    {
+        return accessTag(tagOf(addr));
+    }
+
+    /** access() with a precomputed block tag. */
+    bool
+    accessTag(Addr tag)
+    {
+        // A tag is the full block address (it includes the set
+        // bits), so one compare identifies the last-touched block.
+        Way &mru = ways_[mru_index_];
+        if (mru.tag == tag && mru.lru != 0) {
+            if (lru_refresh_)
+                mru.lru = ++lru_clock_;
+            return true;
+        }
+        return accessSlow(tag);
+    }
 
     /**
-     * Insert the block containing addr, evicting the LRU way.
+     * Insert the block containing addr, evicting a victim way.
      *
-     * @return the byte address of the evicted block, or 0 when an
-     *         invalid way was filled.
+     * @return the byte address of the evicted block, or std::nullopt
+     *         when no valid block was displaced (an invalid way was
+     *         filled, or the block was already resident).
      */
-    Addr insert(Addr addr);
+    std::optional<Addr>
+    insert(Addr addr)
+    {
+        return insertTag(tagOf(addr));
+    }
+
+    /** insert() with a precomputed block tag. */
+    std::optional<Addr> insertTag(Addr tag);
 
     /** Probe without disturbing LRU state. */
-    bool contains(Addr addr) const;
+    bool
+    contains(Addr addr) const
+    {
+        return containsTag(tagOf(addr));
+    }
 
-    /** Invalidate the block containing addr if present. */
-    void invalidate(Addr addr);
+    /** contains() with a precomputed block tag. */
+    bool
+    containsTag(Addr tag) const
+    {
+        const Way &mru = ways_[mru_index_];
+        if (mru.tag == tag && mru.lru != 0)
+            return true;
+        return containsSlow(tag);
+    }
+
+    /** Invalidate the block containing addr if present. Inline:
+     *  called for every coherence invalidation on the data path. */
+    void
+    invalidate(Addr addr)
+    {
+        const Addr tag = tagOf(addr);
+        Way *base = &ways_[setIndexOfTag(tag) * params_.assoc];
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            if (base[w].tag == tag && base[w].lru != 0) {
+                base[w].lru = 0;
+                return;
+            }
+        }
+    }
 
     /** Invalidate every block. */
     void flush();
@@ -80,26 +153,85 @@ class Cache
     /** Number of currently valid blocks. */
     std::uint64_t validBlocks() const;
 
+    /** Maximum number of valid blocks (sets * assoc). */
+    std::uint64_t
+    capacityBlocks() const
+    {
+        return num_sets_ * params_.assoc;
+    }
+
+    /**
+     * True when no set holds two valid copies of one tag and no set
+     * exceeds its associativity — the structural invariant the
+     * checked preset verifies during whole-figure runs.
+     */
+    bool tagsUnique() const;
+
     /** Configured parameters. */
     const CacheParams &params() const { return params_; }
 
     /** Number of sets. */
     std::uint64_t numSets() const { return num_sets_; }
 
+    /** log2(blockBytes): callers precomputing tags share this. */
+    unsigned blockShift() const { return block_shift_; }
+
+    /** The block tag (full block address) of a byte address. */
+    Addr tagOf(Addr addr) const { return addr >> block_shift_; }
+
   private:
+    /**
+     * One way, packed to 16 bytes so a 4-way set scans in a single
+     * hardware cache line. Validity is encoded as lru != 0: every
+     * insert and every LRU refresh stamps ++lru_clock_ (>= 1), so a
+     * valid way always has a non-zero stamp, and invalidation just
+     * zeroes it (the stale tag stays but can never match a valid
+     * check).
+     */
     struct Way
     {
         Addr tag = 0;
-        std::uint64_t lru = 0; // higher = more recently used
-        bool valid = false;
+        std::uint64_t lru = 0; // recency stamp; 0 = invalid
     };
 
-    std::uint64_t setIndexOf(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    std::uint64_t
+    setIndexOfTag(Addr tag) const
+    {
+        // Power-of-two set counts (every real geometry) use the
+        // mask; the division survives only for odd TLB sizes.
+        return set_mask_ != 0 ? (tag & set_mask_) : (tag % num_sets_);
+    }
+
+    /** Full way scan behind the MRU fast path of accessTag().
+     *  Inline: the scan is the common path for L1 misses and
+     *  non-MRU hits, and a 4-way packed set is one cache line. */
+    bool
+    accessSlow(Addr tag)
+    {
+        const std::uint64_t base_index =
+            setIndexOfTag(tag) * params_.assoc;
+        Way *base = &ways_[base_index];
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            if (base[w].tag == tag && base[w].lru != 0) {
+                // Fifo keeps the insertion stamp; Lru refreshes it.
+                if (lru_refresh_)
+                    base[w].lru = ++lru_clock_;
+                mru_index_ = base_index + w;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Full way scan behind the MRU fast path of containsTag(). */
+    bool containsSlow(Addr tag) const;
 
     CacheParams params_;
     std::uint64_t num_sets_;
+    std::uint64_t set_mask_; // num_sets_ - 1 when a power of two, else 0
     unsigned block_shift_;
+    bool lru_refresh_; // replacement == Lru: hits refresh the stamp
+    std::uint64_t mru_index_ = 0; // way of the last hit or insert
     std::uint64_t lru_clock_ = 0;
     std::uint32_t lfsr_ = 0xace1u; // Random replacement state
     std::vector<Way> ways_; // num_sets_ * assoc, row-major

@@ -13,11 +13,23 @@ CoherenceDirectory::CoherenceDirectory(unsigned num_cores)
                      num_cores);
 }
 
+CoherenceDirectory::Entry &
+CoherenceDirectory::entryOf(Addr line_addr)
+{
+    MemoSlot &slot = memoSlotFor(line_addr);
+    if (slot.entry != nullptr && slot.line == line_addr)
+        return *slot.entry;
+    Entry &e = entries_[line_addr];
+    slot.line = line_addr;
+    slot.entry = &e;
+    return e;
+}
+
 DirectoryOutcome
 CoherenceDirectory::onRead(CoreId core, Addr line_addr)
 {
     DirectoryOutcome out;
-    Entry &e = entries_[line_addr];
+    Entry &e = entryOf(line_addr);
     if (e.dirtyOwner != invalidCore && e.dirtyOwner != core) {
         // Remote modified copy: cache-to-cache fill; the owner
         // transitions M->O (keeps its copy as a sharer).
@@ -32,7 +44,7 @@ DirectoryOutcome
 CoherenceDirectory::onWrite(CoreId core, Addr line_addr)
 {
     DirectoryOutcome out;
-    Entry &e = entries_[line_addr];
+    Entry &e = entryOf(line_addr);
     if (e.dirtyOwner != invalidCore && e.dirtyOwner != core)
         out.remoteDirtyFill = true;
     out.invalidateMask = e.sharers & ~(std::uint64_t{1} << core);
@@ -44,14 +56,37 @@ CoherenceDirectory::onWrite(CoreId core, Addr line_addr)
 void
 CoherenceDirectory::onEvict(CoreId core, Addr line_addr)
 {
+    // Eviction victims are LRU lines, so the memo rarely still holds
+    // them; the common path is one find() whose iterator also serves
+    // the erase (evicting the last sharer usually empties the entry).
+    MemoSlot &slot = memoSlotFor(line_addr);
+    const std::uint64_t bit = std::uint64_t{1} << core;
+    if (slot.entry != nullptr && slot.line == line_addr) {
+        Entry &e = *slot.entry;
+        e.sharers &= ~bit;
+        if (e.dirtyOwner == core)
+            e.dirtyOwner = invalidCore;
+        if (e.sharers == 0 && e.dirtyOwner == invalidCore) {
+            // A slot caches the entry of the line it indexes, so
+            // this slot is the only one referencing the erased node.
+            slot.entry = nullptr;
+            entries_.erase(line_addr);
+        }
+        return;
+    }
     auto it = entries_.find(line_addr);
     if (it == entries_.end())
         return;
-    it->second.sharers &= ~(std::uint64_t{1} << core);
-    if (it->second.dirtyOwner == core)
-        it->second.dirtyOwner = invalidCore;
-    if (it->second.sharers == 0 && it->second.dirtyOwner == invalidCore)
+    Entry &e = it->second;
+    e.sharers &= ~bit;
+    if (e.dirtyOwner == core)
+        e.dirtyOwner = invalidCore;
+    if (e.sharers == 0 && e.dirtyOwner == invalidCore) {
         entries_.erase(it);
+    } else {
+        slot.line = line_addr;
+        slot.entry = &e;
+    }
 }
 
 } // namespace schedtask

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -55,7 +56,11 @@ class CoherenceDirectory
      */
     DirectoryOutcome onWrite(CoreId core, Addr line_addr);
 
-    /** Drop a core from the sharer set (e.g. after local eviction). */
+    /**
+     * Drop a core from the sharer set (e.g. after local eviction).
+     * line_addr is the evicted block's byte address as reported by
+     * Cache::insert — any address, including 0, is a valid block.
+     */
     void onEvict(CoreId core, Addr line_addr);
 
     /** Number of tracked lines (for tests and memory accounting). */
@@ -71,8 +76,37 @@ class CoherenceDirectory
         CoreId dirtyOwner = invalidCore;
     };
 
+    /**
+     * Direct-mapped pointer memo in front of the hash map. The hash
+     * map's prime-modulo lookup dominates the directory's cost on
+     * the data hot path; hot lines (stacks, request structs, shared
+     * tables) instead hit this table with a mask index and one
+     * compare. Node addresses in an unordered_map are stable across
+     * rehashing, so a cached pointer stays valid until its line is
+     * erased — onEvict() purges the (unique) slot that can
+     * reference an erased entry. entry == nullptr means empty; a
+     * slot never caches a negative lookup.
+     */
+    struct MemoSlot
+    {
+        Addr line = 0;
+        Entry *entry = nullptr;
+    };
+
+    static constexpr std::size_t memoSlots = 8192; // power of two
+
+    MemoSlot &
+    memoSlotFor(Addr line_addr)
+    {
+        return memo_[(line_addr / lineBytes) & (memoSlots - 1)];
+    }
+
+    /** Hash lookup of a line's entry, memoized via memoSlotFor(). */
+    Entry &entryOf(Addr line_addr);
+
     unsigned num_cores_;
     std::unordered_map<Addr, Entry> entries_;
+    std::vector<MemoSlot> memo_ = std::vector<MemoSlot>(memoSlots);
 };
 
 } // namespace schedtask

@@ -37,6 +37,15 @@ MemHierarchy::MemHierarchy(const HierarchyParams &params)
     : params_(params), llc_(params.llc), directory_(params.numCores)
 {
     SCHEDTASK_ASSERT(params_.numCores >= 1, "need at least one core");
+    // The fetch/data hot paths precompute one line tag per access
+    // and share it across the L1/L2/LLC probes; that requires every
+    // line-grain level to split tags at the line boundary.
+    SCHEDTASK_ASSERT(params_.l1i.blockBytes == lineBytes
+                         && params_.l1d.blockBytes == lineBytes
+                         && params_.llc.blockBytes == lineBytes
+                         && (!params_.hasPrivateL2
+                             || params_.l2.blockBytes == lineBytes),
+                     "cache levels must use ", lineBytes, " B blocks");
     l1i_.reserve(params_.numCores);
     l1d_.reserve(params_.numCores);
     itlbs_.reserve(params_.numCores);
@@ -52,28 +61,23 @@ MemHierarchy::MemHierarchy(const HierarchyParams &params)
 }
 
 Cycles
-MemHierarchy::fillFromShared(CoreId core, Addr line, bool &llc_hit)
+MemHierarchy::fillFromShared(CoreId core, Addr line_tag, bool &llc_hit)
 {
     (void)core;
-    llc_hit = llc_.access(line);
+    llc_hit = llc_.accessTag(line_tag);
     if (llc_hit)
         return params_.llc.latency;
-    llc_.insert(line);
+    llc_.insertTag(line_tag);
     return params_.llc.latency + params_.memLatency;
-}
-
-Cycles
-MemHierarchy::fetch(CoreId core, Addr addr, ExecClass cls)
-{
-    const Cycles stall = fetchImpl(core, addr, cls);
-    fetch_stall_cycles_ += stall;
-    return stall;
 }
 
 Cycles
 MemHierarchy::fetchImpl(CoreId core, Addr addr, ExecClass cls)
 {
     const Addr line = lineAddrOf(addr);
+    // One tag split, shared by the L1I, L2 and LLC probes (they all
+    // index at line granularity; asserted in the constructor).
+    const Addr line_tag = lineNumOf(addr);
     Cycles stall = itlbs_[core]->translate(addr);
 
     AccessCounts &counts = i_counts_[static_cast<unsigned>(cls)];
@@ -85,7 +89,7 @@ MemHierarchy::fetchImpl(CoreId core, Addr addr, ExecClass cls)
         return stall;
     }
 
-    const bool hit = l1i_[core]->access(line);
+    const bool hit = l1i_[core]->accessTag(line_tag);
     if (prefetcher_)
         prefetcher_->onFetch(core, line, hit, *this);
     if (hit) {
@@ -98,24 +102,16 @@ MemHierarchy::fetchImpl(CoreId core, Addr addr, ExecClass cls)
     stall += params_.frontendBubbleCycles;
     if (params_.hasPrivateL2)
         ++l2_counts_.accesses;
-    if (params_.hasPrivateL2 && l2_[core]->access(line)) {
+    if (params_.hasPrivateL2 && l2_[core]->accessTag(line_tag)) {
         ++l2_counts_.hits;
         stall += params_.l2.latency;
     } else {
         bool llc_hit = false;
-        stall += fillFromShared(core, line, llc_hit);
+        stall += fillFromShared(core, line_tag, llc_hit);
         if (params_.hasPrivateL2)
-            l2_[core]->insert(line);
+            l2_[core]->insertTag(line_tag);
     }
-    l1i_[core]->insert(line);
-    return stall;
-}
-
-Cycles
-MemHierarchy::data(CoreId core, Addr addr, bool is_write, ExecClass cls)
-{
-    const Cycles stall = dataImpl(core, addr, is_write, cls);
-    data_stall_cycles_ += stall;
+    l1i_[core]->insertTag(line_tag);
     return stall;
 }
 
@@ -124,10 +120,15 @@ MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
                        ExecClass cls)
 {
     const Addr line = lineAddrOf(addr);
-    const double dtlb_expose = 1.0 - params_.dtlbHideFactor;
-    Cycles stall = static_cast<Cycles>(
-        std::llround(static_cast<double>(dtlbs_[core]->translate(addr))
-                     * dtlb_expose));
+    const Addr line_tag = lineNumOf(addr);
+    const Cycles walk = dtlbs_[core]->translate(addr);
+    // The common case (dTLB hit) skips the floating-point scaling.
+    Cycles stall = 0;
+    if (walk != 0) {
+        const double dtlb_expose = 1.0 - params_.dtlbHideFactor;
+        stall = static_cast<Cycles>(std::llround(
+            static_cast<double>(walk) * dtlb_expose));
+    }
 
     AccessCounts &counts = d_counts_[static_cast<unsigned>(cls)];
     ++counts.accesses;
@@ -150,7 +151,7 @@ MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
     }
 
     const bool local_hit =
-        l1d_[core]->access(line) && !outcome.remoteDirtyFill;
+        l1d_[core]->accessTag(line_tag) && !outcome.remoteDirtyFill;
 
     if (local_hit) {
         ++counts.hits;
@@ -165,21 +166,21 @@ MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
         fill_latency = params_.remoteFillLatency;
     } else if (params_.hasPrivateL2) {
         ++l2_counts_.accesses;
-        if (l2_[core]->access(line)) {
+        if (l2_[core]->accessTag(line_tag)) {
             ++l2_counts_.hits;
             fill_latency = params_.l2.latency;
         } else {
             bool llc_hit = false;
-            fill_latency = fillFromShared(core, line, llc_hit);
-            l2_[core]->insert(line);
+            fill_latency = fillFromShared(core, line_tag, llc_hit);
+            l2_[core]->insertTag(line_tag);
         }
     } else {
         bool llc_hit = false;
-        fill_latency = fillFromShared(core, line, llc_hit);
+        fill_latency = fillFromShared(core, line_tag, llc_hit);
     }
-    const Addr evicted = l1d_[core]->insert(line);
-    if (evicted != 0)
-        directory_.onEvict(core, evicted);
+    const std::optional<Addr> evicted = l1d_[core]->insertTag(line_tag);
+    if (evicted)
+        directory_.onEvict(core, *evicted);
 
     if (is_write) {
         // Stores retire through the store buffer; only coherence
@@ -226,10 +227,11 @@ MemHierarchy::icacheContains(CoreId core, Addr addr) const
 void
 MemHierarchy::installInstLine(CoreId core, Addr line_addr)
 {
-    if (!l1i_[core]->contains(line_addr))
-        l1i_[core]->insert(line_addr);
-    if (params_.hasPrivateL2 && !l2_[core]->contains(line_addr))
-        l2_[core]->insert(line_addr);
+    const Addr line_tag = lineNumOf(line_addr);
+    if (!l1i_[core]->containsTag(line_tag))
+        l1i_[core]->insertTag(line_tag);
+    if (params_.hasPrivateL2 && !l2_[core]->containsTag(line_tag))
+        l2_[core]->insertTag(line_tag);
 }
 
 const AccessCounts &
@@ -288,6 +290,26 @@ MemHierarchy::dtlbHitRate() const
     }
     return acc == 0 ? 1.0
                     : static_cast<double>(hit) / static_cast<double>(acc);
+}
+
+void
+MemHierarchy::checkCacheInvariants() const
+{
+    const auto check = [](const Cache &c, const char *what) {
+        SCHEDTASK_ASSERT(c.validBlocks() <= c.capacityBlocks(),
+                         what, " holds ", c.validBlocks(),
+                         " valid blocks, capacity ",
+                         c.capacityBlocks());
+        SCHEDTASK_ASSERT(c.tagsUnique(),
+                         what, " holds duplicate valid tags in a set");
+    };
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        check(*l1i_[c], "L1I");
+        check(*l1d_[c], "L1D");
+        if (params_.hasPrivateL2)
+            check(*l2_[c], "L2");
+    }
+    check(llc_, "LLC");
 }
 
 void

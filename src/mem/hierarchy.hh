@@ -124,7 +124,13 @@ class MemHierarchy : public PrefetchSink
      * @param cls   app or OS code (for stats split)
      * @return exposed stall cycles beyond the pipelined L1I hit
      */
-    Cycles fetch(CoreId core, Addr addr, ExecClass cls);
+    Cycles
+    fetch(CoreId core, Addr addr, ExecClass cls)
+    {
+        const Cycles stall = fetchImpl(core, addr, cls);
+        fetch_stall_cycles_ += stall;
+        return stall;
+    }
 
     /**
      * Perform a data access.
@@ -135,7 +141,13 @@ class MemHierarchy : public PrefetchSink
      * @param cls   app or OS code (for stats split)
      * @return exposed stall cycles
      */
-    Cycles data(CoreId core, Addr addr, bool is_write, ExecClass cls);
+    Cycles
+    data(CoreId core, Addr addr, bool is_write, ExecClass cls)
+    {
+        const Cycles stall = dataImpl(core, addr, is_write, cls);
+        data_stall_cycles_ += stall;
+        return stall;
+    }
 
     /** Notify the prefetcher that a new task starts on a core. */
     void onTaskStart(CoreId core, std::uint64_t task_token);
@@ -198,6 +210,14 @@ class MemHierarchy : public PrefetchSink
     /** Prefetcher, if attached. */
     const InstPrefetcher *prefetcher() const { return prefetcher_.get(); }
 
+    /**
+     * Structural cache invariants, enforced by the checked preset at
+     * every epoch boundary during whole-figure runs: every level
+     * holds at most capacity valid blocks and no set carries two
+     * valid copies of one tag (see common/invariants.hh).
+     */
+    void checkCacheInvariants() const;
+
     /** Reset all statistics (after warmup), keeping cache contents. */
     void resetStats();
 
@@ -209,8 +229,9 @@ class MemHierarchy : public PrefetchSink
     Cycles dataImpl(CoreId core, Addr addr, bool is_write,
                     ExecClass cls);
 
-    /** Shared fill path below a missing private hierarchy. */
-    Cycles fillFromShared(CoreId core, Addr line, bool &llc_hit);
+    /** Shared fill path below a missing private hierarchy. The LLC
+     *  is probed with the precomputed line tag (address / 64). */
+    Cycles fillFromShared(CoreId core, Addr line_tag, bool &llc_hit);
 
     HierarchyParams params_;
     std::vector<std::unique_ptr<Cache>> l1i_;

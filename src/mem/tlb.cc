@@ -24,18 +24,6 @@ Tlb::Tlb(const TlbParams &params)
 {
 }
 
-Cycles
-Tlb::translate(Addr addr)
-{
-    ++accesses_;
-    if (cache_.access(addr)) {
-        ++hits_;
-        return 0;
-    }
-    cache_.insert(addr);
-    return params_.missPenalty;
-}
-
 double
 Tlb::hitRate() const
 {

@@ -40,9 +40,9 @@ TraceCache::access(Addr line_addr)
         }
         return false; // trace still being built this traversal
     }
-    const Addr evicted = cache_.insert(line_addr);
-    if (evicted != 0)
-        built_at_.erase(evicted);
+    const std::optional<Addr> evicted = cache_.insert(line_addr);
+    if (evicted)
+        built_at_.erase(*evicted);
     built_at_[block] = accesses_;
     return false;
 }

@@ -214,9 +214,25 @@ Core::executeCurrent(Cycles limit)
         p.dataAccessesPerBlock - static_cast<double>(base_accesses);
     const bool heatmap_on = m_.heatmapsEnabled();
 
+    // Machine-level instruction accounting is batched: the counters
+    // recordInsts feeds are additive and keyed by values constant
+    // for the duration of this call (sf, its category, its core), so
+    // one flush of the accumulated delta at every exit — and before
+    // any call that could observe the counters — lands the exact
+    // same totals as a call per fetch block.
+    std::uint64_t unreported = 0;
+    const auto flushInsts = [&] {
+        if (unreported != 0) {
+            m_.recordInsts(sf, unreported);
+            unreported = 0;
+        }
+    };
+
     while (clock_ < limit) {
-        if (!pending_irqs_.empty() && !inIrqHandler())
+        if (!pending_irqs_.empty() && !inIrqHandler()) {
+            flushInsts();
             return; // outer loop services the interrupt
+        }
 
         // One fetch block: 16 instructions from one i-cache line.
         const Addr line = sf->walker.nextLine(rng_);
@@ -242,10 +258,11 @@ Core::executeCurrent(Cycles limit)
         sf->instsDone += instsPerFetchBlock;
         sf->instsThisDispatch += instsPerFetchBlock;
         slice_insts_ += instsPerFetchBlock;
-        m_.recordInsts(sf, instsPerFetchBlock);
+        unreported += instsPerFetchBlock;
 
         // ---- Boundary checks, cheapest first ----------------------
         if (sf->blockAtInsts != 0 && sf->instsDone >= sf->blockAtInsts) {
+            flushInsts();
             endSlice(sf);
             chargeOverhead(SchedEvent::Block, sf);
             m_.onSfBlockPoint(*this, sf);
@@ -254,6 +271,7 @@ Core::executeCurrent(Cycles limit)
         }
 
         if (sf->instsDone >= sf->instsTarget) {
+            flushInsts();
             switch (info.category) {
               case SfCategory::Application: {
                 const auto outcome = m_.onAppSliceDone(*this, sf);
@@ -296,6 +314,7 @@ Core::executeCurrent(Cycles limit)
         if (info.category == SfCategory::Application
                 && sf->instsThisDispatch >= p.timesliceInsts
                 && m_.sched().hasRunnable(id_)) {
+            flushInsts();
             endSlice(sf);
             chargeOverhead(SchedEvent::Yield, sf);
             m_.sched().onSfYield(sf);
@@ -312,6 +331,7 @@ Core::executeCurrent(Cycles limit)
             blocks_since_check_ = 0;
             const CoreId target = m_.sched().midSfPlacement(sf, id_);
             if (target != id_) {
+                flushInsts();
                 endSlice(sf);
                 chargeOverhead(SchedEvent::Yield, sf);
                 m_.sched().onSfYield(sf);
@@ -320,6 +340,7 @@ Core::executeCurrent(Cycles limit)
             }
         }
     }
+    flushInsts();
 }
 
 } // namespace schedtask

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/invariants.hh"
 #include "common/logging.hh"
 
@@ -9,41 +11,36 @@ namespace schedtask
 void
 EventQueue::schedule(Cycles when, Action action)
 {
-    heap_.push(Entry{when, next_seq_++, std::move(action)});
+    heap_.push_back(Entry{when, next_seq_++, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
-EventQueue::runDue(Cycles now)
+EventQueue::runDueSlow(Cycles now)
 {
-    while (!heap_.empty() && heap_.top().when <= now) {
+    while (!heap_.empty() && heap_.front().when <= now) {
         if constexpr (checkedBuild) {
             // An event scheduled in the past would fire after later
             // events already did — time would run backwards.
-            SCHEDTASK_ASSERT(heap_.top().when >= last_fired_,
-                             "event at cycle ", heap_.top().when,
+            SCHEDTASK_ASSERT(heap_.front().when >= last_fired_,
+                             "event at cycle ", heap_.front().when,
                              " fires after one at cycle ",
                              last_fired_);
         }
-        last_fired_ = heap_.top().when;
-        // Copy the action out before popping: the action may
-        // schedule new events and reallocate the heap.
-        Action action = heap_.top().action;
-        heap_.pop();
+        last_fired_ = heap_.front().when;
+        // Move the action out before firing: the action may schedule
+        // new events and reallocate the heap vector.
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Action action = std::move(heap_.back().action);
+        heap_.pop_back();
         action();
     }
-}
-
-Cycles
-EventQueue::nextEventCycle() const
-{
-    return heap_.empty() ? ~Cycles{0} : heap_.top().when;
 }
 
 void
 EventQueue::clear()
 {
-    while (!heap_.empty())
-        heap_.pop();
+    heap_.clear();
     last_fired_ = 0;
 }
 

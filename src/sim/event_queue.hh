@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -24,6 +23,15 @@ namespace schedtask
 
 /**
  * A min-heap of (cycle, callback) pairs.
+ *
+ * The heap is a flat std::vector managed with the <algorithm> heap
+ * primitives rather than a std::priority_queue: the Machine polls
+ * runDue() every quantum, so the no-event-due check must be a single
+ * load-and-compare against the front slot, and a due event's action
+ * must be *moved* out (popping through a priority_queue's const top()
+ * would copy the std::function). The (when, seq) order is a total
+ * order — seq is unique — so the fire sequence is identical to the
+ * previous priority_queue implementation.
  */
 class EventQueue
 {
@@ -33,14 +41,30 @@ class EventQueue
     /** Schedule an action at an absolute cycle. */
     void schedule(Cycles when, Action action);
 
-    /** Fire every event with when <= now, in time order. */
-    void runDue(Cycles now);
+    /**
+     * Fire every event with when <= now, in time order.
+     *
+     * Inline early-out: with no event due (the common case — most
+     * quanta fire nothing) this is one compare against the heap
+     * root, no call.
+     */
+    void
+    runDue(Cycles now)
+    {
+        if (heap_.empty() || heap_.front().when > now)
+            return;
+        runDueSlow(now);
+    }
 
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 
     /** Cycle of the earliest pending event; ~0 when empty. */
-    Cycles nextEventCycle() const;
+    Cycles
+    nextEventCycle() const
+    {
+        return heap_.empty() ? ~Cycles{0} : heap_.front().when;
+    }
 
     /** Drop all pending events. */
     void clear();
@@ -64,7 +88,10 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Out-of-line drain loop behind the runDue early-out. */
+    void runDueSlow(Cycles now);
+
+    std::vector<Entry> heap_; // min-heap under Later
     std::uint64_t next_seq_ = 0;
     /** Timestamp of the last fired event (checked builds assert
      *  events never fire out of time order). */

@@ -136,6 +136,11 @@ Machine::checkEpochInvariants() const
                      "per-core idle sum ", core_idle,
                      " != total idle ", metrics_.idleCycles);
 
+    // Every cache level is structurally sound: at most capacity
+    // valid blocks, and no set holds two valid copies of one tag
+    // (the invalidate-then-reinsert duplicate regression).
+    hierarchy_->checkCacheInvariants();
+
     // Every heatmap register's popcount fits its width, and the
     // hardware hash agrees with a straightforwardly-written
     // reference (paper Section 3.2: six 9-bit-stride shifts).

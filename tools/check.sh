@@ -12,13 +12,25 @@
 #     tracing on; report and every trace file must be bitwise
 #     identical, proving the invariant checker is pure observation.
 #
-# Usage: tools/check.sh [preset...]
+# With --bench, finishes with the perf gate (tools/perf_gate.sh) at
+# a generous threshold — a smoke check that the benchmark harness
+# runs and the simulator has not grossly slowed down, not a precise
+# measurement (use tools/perf_gate.sh directly for that).
+#
+# Usage: tools/check.sh [--bench] [preset...]
 
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
 
 JOBS="${JOBS:-$(nproc)}"
-PRESETS=("$@")
+BENCH=0
+PRESETS=()
+for arg in "$@"; do
+    case "$arg" in
+        --bench) BENCH=1 ;;
+        *) PRESETS+=("$arg") ;;
+    esac
+done
 if [ ${#PRESETS[@]} -eq 0 ]; then
     PRESETS=(default asan-ubsan tsan checked)
 fi
@@ -64,6 +76,12 @@ if has_preset default && has_preset checked; then
     diff -u "$tmp/default.out" "$tmp/checked.out"
     diff -r "$tmp/default" "$tmp/checked"
     echo "report and traces bitwise identical"
+fi
+
+if [ "$BENCH" -eq 1 ]; then
+    step "perf gate smoke (generous threshold)"
+    PERF_GATE_THRESHOLD="${PERF_GATE_THRESHOLD:-50}" \
+        tools/perf_gate.sh
 fi
 
 step "all checks passed"
