@@ -248,3 +248,91 @@ SchedTaskScheduler::overheadFor(SchedEvent event,
 }
 
 } // namespace schedtask
+
+// Registry hook: called from SchedulerRegistry::ensureBuiltins().
+// The option helpers are shared with derivatives (hetero-schedtask).
+
+#include <memory>
+#include <utility>
+
+namespace schedtask
+{
+
+std::vector<SchedulerOptionSpec>
+schedTaskOptionSpecs()
+{
+    return {
+        {"steal",
+         "work-stealing policy: none, same, similar, busiest "
+         "(default similar)"},
+        {"realloc_guard",
+         "cosine-similarity guard for re-allocation (default 0.98)"},
+        {"route_irqs",
+         "program the interrupt controller from the allocation "
+         "(default 1)"},
+        {"exact_overlap",
+         "rank cores by exact footprint overlap instead of heatmaps "
+         "(default 0)"},
+        {"talloc_insts",
+         "TAlloc cost per epoch, in instructions (default 2500)"},
+        {"demand_smoothing",
+         "EMA weight on each new epoch's demand share (default 0.5)"},
+        {"wait_signal",
+         "feed severe per-type queue waits into the demand weights "
+         "(default 1)"},
+    };
+}
+
+void
+applySchedTaskOptions(SchedTaskParams &params,
+                      const SchedulerOptions &options)
+{
+    if (options.has("steal")) {
+        const std::string policy = options.getString("steal", "");
+        if (policy == "none")
+            params.stealPolicy = StealPolicy::None;
+        else if (policy == "same")
+            params.stealPolicy = StealPolicy::SameOnly;
+        else if (policy == "similar")
+            params.stealPolicy = StealPolicy::SameAndSimilar;
+        else if (policy == "busiest")
+            params.stealPolicy = StealPolicy::BusiestFirst;
+        else
+            throw SchedulerOptionError(
+                "option 'steal': expected none, same, similar or "
+                "busiest, got '" +
+                policy + "'");
+    }
+    params.reallocationGuard =
+        options.getDouble("realloc_guard", params.reallocationGuard);
+    params.routeInterrupts =
+        options.getBool("route_irqs", params.routeInterrupts);
+    params.useExactOverlap =
+        options.getBool("exact_overlap", params.useExactOverlap);
+    params.tallocInsts =
+        options.getUnsigned("talloc_insts", params.tallocInsts);
+    params.demandSmoothing =
+        options.getDouble("demand_smoothing", params.demandSmoothing);
+    params.useWaitSignal =
+        options.getBool("wait_signal", params.useWaitSignal);
+}
+
+void
+registerSchedTaskTechnique()
+{
+    SchedulerInfo info;
+    info.name = "SchedTask";
+    info.description = "hardware-assisted TAlloc + TMigrate task "
+                       "scheduler (this paper)";
+    info.paperOrder = 5;
+    info.options = schedTaskOptionSpecs();
+    info.factory =
+        [](const SchedulerFactoryContext &ctx) -> std::unique_ptr<Scheduler> {
+        SchedTaskParams p = ctx.schedTask;
+        applySchedTaskOptions(p, ctx.options);
+        return std::make_unique<SchedTaskScheduler>(p);
+    };
+    SchedulerRegistry::instance().registerScheduler(std::move(info));
+}
+
+} // namespace schedtask

@@ -23,6 +23,7 @@
 #include "core/stats_table.hh"
 #include "core/talloc.hh"
 #include "core/tmigrate.hh"
+#include "sched/registry.hh"
 #include "sched/scheduler.hh"
 
 namespace schedtask
@@ -48,6 +49,16 @@ struct SchedTaskParams
      *  is starved by short, frequent re-entries). */
     bool useWaitSignal = true;
 };
+
+/** Registry option keys shared by SchedTask and its derivatives. */
+std::vector<SchedulerOptionSpec> schedTaskOptionSpecs();
+
+/**
+ * Apply registry options onto SchedTask params; throws
+ * SchedulerOptionError on bad values (keys are validated upstream).
+ */
+void applySchedTaskOptions(SchedTaskParams &params,
+                           const SchedulerOptions &options);
 
 class SchedTaskScheduler : public QueueScheduler
 {
@@ -81,9 +92,11 @@ class SchedTaskScheduler : public QueueScheduler
     CoreId choosePlacement(SuperFunction *sf,
                            PlacementReason reason) override;
 
+    /** Mean observed execution time of a type (placement costing). */
+    Cycles avgExecTimeOf(SfType type) const;
+
   private:
     TMigrateView view();
-    Cycles avgExecTimeOf(SfType type) const;
     void replaceQueuedWork();
     void noteDispatchWait(CoreId core, SuperFunction *sf);
 

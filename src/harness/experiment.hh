@@ -16,6 +16,7 @@
 
 #include "core/schedtask_sched.hh"
 #include "mem/hierarchy.hh"
+#include "sched/registry.hh"
 #include "sched/scheduler.hh"
 #include "sim/machine.hh"
 #include "sim/metrics.hh"
@@ -24,7 +25,15 @@
 namespace schedtask
 {
 
-/** The compared techniques (Section 6.1, Table 3). */
+/**
+ * The compared techniques (Section 6.1, Table 3).
+ *
+ * Legacy shim: techniques live in the name-keyed SchedulerRegistry
+ * (sched/registry.hh) and the harness dispatches on TechniqueSpec;
+ * this enum survives so the figure binaries and tests that predate
+ * the registry keep compiling. New call sites should use
+ * TechniqueSpec / SchedulerRegistry directly.
+ */
 enum class Technique : std::uint8_t
 {
     Linux,
@@ -38,12 +47,24 @@ enum class Technique : std::uint8_t
 /** Name as used in the paper's figures. */
 const char *techniqueName(Technique technique);
 
-/** The five techniques compared against the Linux baseline. */
+/** Registry spec (no options) for a legacy enum value. */
+TechniqueSpec techniqueSpec(Technique technique);
+
+/**
+ * The techniques compared against the baseline, derived from the
+ * registry's paper entries minus those flagged isBaseline (so the
+ * baseline's exclusion is an explicit property, not an ordering
+ * assumption).
+ */
 const std::vector<Technique> &comparedTechniques();
 
 /** Instantiate a scheduler for a technique. */
 std::unique_ptr<Scheduler> makeScheduler(
     Technique technique, const SchedTaskParams &st_params = {});
+
+/** Instantiate a scheduler from a registry spec. */
+std::unique_ptr<Scheduler> makeScheduler(
+    const TechniqueSpec &spec, const SchedTaskParams &st_params = {});
 
 /** Everything one simulation run needs. */
 struct ExperimentConfig
@@ -234,6 +255,10 @@ struct RunResult
  */
 RunResult runOnce(const ExperimentConfig &config, Technique technique);
 
+/** runOnce() for a registry spec (result keyed by spec.str()). */
+RunResult runOnce(const ExperimentConfig &config,
+                  const TechniqueSpec &spec);
+
 /** Run with a caller-provided scheduler (custom schedulers). */
 RunResult runWithScheduler(const ExperimentConfig &config,
                            Scheduler &scheduler);
@@ -295,6 +320,10 @@ struct Comparison
  * streams for both runs.
  */
 Comparison compare(const ExperimentConfig &config, Technique technique);
+
+/** compare() for a registry spec. */
+Comparison compare(const ExperimentConfig &config,
+                   const TechniqueSpec &spec);
 
 } // namespace schedtask
 

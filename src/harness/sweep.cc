@@ -119,6 +119,8 @@ baselineFingerprint(const ExperimentConfig &config)
     fp.mixBits(m.irqEntryCycles);
     fp.mixBits(m.midSfCheckBlocks);
     fp.mixBits(m.trackExactPages ? 1 : 0);
+    fp.mixDouble(m.littleFrac);
+    fp.mixDouble(m.littleCostFactor);
     // machine.heatmapBits and config.schedTask are deliberately
     // omitted: a Linux run cannot observe them.
 
@@ -188,18 +190,45 @@ Sweep::noteRowCol(const std::string &row, const std::string &col)
 
 Sweep &
 Sweep::add(const std::string &row, const std::string &col,
-           ExperimentConfig config, Technique technique)
+           ExperimentConfig config, const TechniqueSpec &spec)
 {
     noteRowCol(row, col);
     RunRequest req;
     req.row = row;
     req.col = col;
     req.config = std::move(config);
-    req.technique = technique;
+    req.spec = spec;
     req.deriveSeed = deriveSeeds_;
     requests_.push_back(std::move(req));
     return *this;
 }
+
+Sweep &
+Sweep::add(const std::string &row, const std::string &col,
+           ExperimentConfig config, Technique technique)
+{
+    return add(row, col, std::move(config), techniqueSpec(technique));
+}
+
+namespace
+{
+
+/** The registry technique flagged isBaseline (the Linux model). */
+TechniqueSpec
+baselineSpec()
+{
+    for (const SchedulerInfo *info :
+         SchedulerRegistry::instance().paperEntries()) {
+        if (info->isBaseline) {
+            TechniqueSpec spec;
+            spec.name = info->name;
+            return spec;
+        }
+    }
+    SCHEDTASK_FATAL("no registered technique is flagged isBaseline");
+}
+
+} // namespace
 
 Sweep &
 Sweep::addBaseline(const std::string &row,
@@ -212,7 +241,7 @@ Sweep::addBaseline(const std::string &row,
     req.row = row;
     req.col = label.substr(row.size() + 1);
     req.config = config;
-    req.technique = Technique::Linux;
+    req.spec = baselineSpec();
     req.deriveSeed = deriveSeeds_;
     req.isBaseline = true;
     baselineIndex_.emplace(label, requests_.size());
@@ -222,11 +251,31 @@ Sweep::addBaseline(const std::string &row,
 
 Sweep &
 Sweep::addComparison(const std::string &row, const std::string &col,
-                     ExperimentConfig config, Technique technique)
+                     ExperimentConfig config, const TechniqueSpec &spec)
 {
     const ExperimentConfig baseline_config = config;
-    return addVersus(row, col, std::move(config), technique,
+    return addVersus(row, col, std::move(config), spec,
                      baseline_config);
+}
+
+Sweep &
+Sweep::addComparison(const std::string &row, const std::string &col,
+                     ExperimentConfig config, Technique technique)
+{
+    return addComparison(row, col, std::move(config),
+                         techniqueSpec(technique));
+}
+
+Sweep &
+Sweep::addVersus(const std::string &row, const std::string &col,
+                 ExperimentConfig config, const TechniqueSpec &spec,
+                 const ExperimentConfig &baseline_config)
+{
+    addBaseline(row, baseline_config);
+    add(row, col, std::move(config), spec);
+    requests_.back().baselineLabel =
+        baselineLabelFor(row, baseline_config);
+    return *this;
 }
 
 Sweep &
@@ -234,11 +283,8 @@ Sweep::addVersus(const std::string &row, const std::string &col,
                  ExperimentConfig config, Technique technique,
                  const ExperimentConfig &baseline_config)
 {
-    addBaseline(row, baseline_config);
-    add(row, col, std::move(config), technique);
-    requests_.back().baselineLabel =
-        baselineLabelFor(row, baseline_config);
-    return *this;
+    return addVersus(row, col, std::move(config),
+                     techniqueSpec(technique), baseline_config);
 }
 
 Sweep
@@ -394,7 +440,7 @@ SweepRunner::runPartial(const Sweep &sweep,
                 if (!trace_dir.empty())
                     cfg.machine.trace = true;
                 const std::unique_ptr<Scheduler> scheduler =
-                    makeScheduler(req.technique, cfg.schedTask);
+                    makeScheduler(req.spec, cfg.schedTask);
                 const RunResult result =
                     runWithScheduler(cfg, *scheduler);
                 if (!trace_dir.empty())

@@ -49,7 +49,9 @@ struct RunRequest
     std::string col;
 
     ExperimentConfig config;
-    Technique technique = Technique::SchedTask;
+
+    /** Technique to run, as a registry spec (name + options). */
+    TechniqueSpec spec;
 
     /** Mix the row label into the master seed (see runSeed()).
      *  The runOnce()/compare() wrappers disable this to preserve
@@ -100,21 +102,30 @@ class Sweep
 
     /** Add a standalone run (no baseline attached). */
     Sweep &add(const std::string &row, const std::string &col,
+               ExperimentConfig config, const TechniqueSpec &spec);
+    Sweep &add(const std::string &row, const std::string &col,
                ExperimentConfig config, Technique technique);
 
-    /** Register the row's Linux baseline for `config` (idempotent
-     *  per fingerprint). addComparison() calls this implicitly. */
+    /** Register the row's baseline (the registry technique flagged
+     *  isBaseline) for `config`, idempotent per fingerprint.
+     *  addComparison() calls this implicitly. */
     Sweep &addBaseline(const std::string &row,
                        const ExperimentConfig &config);
 
     /** Add a run compared against the Linux baseline on the same
      *  configuration (registered and deduplicated automatically). */
     Sweep &addComparison(const std::string &row, const std::string &col,
+                         ExperimentConfig config,
+                         const TechniqueSpec &spec);
+    Sweep &addComparison(const std::string &row, const std::string &col,
                          ExperimentConfig config, Technique technique);
 
     /** Add a run compared against a baseline on a *different*
      *  configuration (e.g. a parameter sweep whose reference is the
      *  unmodified config). */
+    Sweep &addVersus(const std::string &row, const std::string &col,
+                     ExperimentConfig config, const TechniqueSpec &spec,
+                     const ExperimentConfig &baseline_config);
     Sweep &addVersus(const std::string &row, const std::string &col,
                      ExperimentConfig config, Technique technique,
                      const ExperimentConfig &baseline_config);

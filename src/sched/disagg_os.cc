@@ -198,3 +198,31 @@ DisAggregateOSScheduler::epochDecision() const
 }
 
 } // namespace schedtask
+
+// Registry hook: called from SchedulerRegistry::ensureBuiltins().
+
+#include <memory>
+#include <utility>
+
+#include "sched/registry.hh"
+
+namespace schedtask
+{
+
+void
+registerDisAggregateOsTechnique()
+{
+    SchedulerInfo info;
+    info.name = "DisAggregateOS";
+    info.description = "per-region core partitions rebuilt each epoch "
+                       "by a zero-cost micro-scheduler (Lee 2013)";
+    info.paperOrder = 3;
+    info.factory =
+        [](const SchedulerFactoryContext &ctx) -> std::unique_ptr<Scheduler> {
+        (void)ctx;
+        return std::make_unique<DisAggregateOSScheduler>();
+    };
+    SchedulerRegistry::instance().registerScheduler(std::move(info));
+}
+
+} // namespace schedtask

@@ -154,3 +154,46 @@ FlexSCScheduler::overheadFor(SchedEvent event,
 }
 
 } // namespace schedtask
+
+// Registry hook: called from SchedulerRegistry::ensureBuiltins().
+
+#include <memory>
+#include <utility>
+
+#include "sched/registry.hh"
+
+namespace schedtask
+{
+
+void
+registerFlexScTechnique()
+{
+    SchedulerInfo info;
+    info.name = "FlexSC";
+    info.description = "exception-less syscalls on dedicated syscall "
+                       "cores (Soares & Stumm, OSDI 2010)";
+    info.paperOrder = 2;
+    info.options = {
+        {"linux_sched_insts",
+         "kernel instructions of one Linux-scheduler round trip "
+         "(default 4500)"},
+        {"yield_quantum",
+         "cycles until a yielded single-threaded app re-runs "
+         "(default 60000)"},
+        {"min_syscall_cores", "minimum syscall cores (default 1)"},
+    };
+    info.factory =
+        [](const SchedulerFactoryContext &ctx) -> std::unique_ptr<Scheduler> {
+        FlexSCParams p;
+        p.linuxSchedulerInsts = ctx.options.getUnsigned(
+            "linux_sched_insts", p.linuxSchedulerInsts);
+        p.yieldQuantum = static_cast<Cycles>(
+            ctx.options.getUnsigned("yield_quantum", p.yieldQuantum));
+        p.minSyscallCores = static_cast<unsigned>(ctx.options.getUnsigned(
+            "min_syscall_cores", p.minSyscallCores));
+        return std::make_unique<FlexSCScheduler>(p);
+    };
+    SchedulerRegistry::instance().registerScheduler(std::move(info));
+}
+
+} // namespace schedtask

@@ -1,0 +1,97 @@
+#include "sched/hetero_schedtask.hh"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace schedtask
+{
+
+HeteroSchedTaskScheduler::HeteroSchedTaskScheduler(
+    const HeteroParams &hetero, const SchedTaskParams &params)
+    : SchedTaskScheduler(params), hetero_(hetero)
+{
+}
+
+void
+HeteroSchedTaskScheduler::configureMachine(MachineParams &params) const
+{
+    SchedTaskScheduler::configureMachine(params);
+    params.littleFrac = hetero_.littleFrac;
+    params.littleCostFactor = hetero_.littleCostFactor;
+}
+
+CoreId
+HeteroSchedTaskScheduler::choosePlacement(SuperFunction *sf,
+                                          PlacementReason reason)
+{
+    // The overlap home: TAlloc's allocation already encodes heatmap
+    // overlap, and the base picks the least-waiting allocated core.
+    const CoreId home = SchedTaskScheduler::choosePlacement(sf, reason);
+    const std::vector<CoreId> *cores = allocTable().coresFor(sf->type);
+    if (cores == nullptr || cores->size() < 2)
+        return home;
+
+    // Re-rank the allocated cores by estimated completion: the queue
+    // ahead plus this SuperFunction, each dispatch stretched by the
+    // core's execution-cost factor. A strict improvement is required
+    // to leave the home core, so on a homogeneous machine (all
+    // factors 1.0) this reduces to the base policy.
+    const auto completion = [this](CoreId c) {
+        return static_cast<double>(queueLen(c) + 1) *
+               machine_->coreCostFactor(c);
+    };
+    CoreId best = home;
+    double best_cost = completion(home);
+    for (const CoreId c : *cores) {
+        if (c == home)
+            continue;
+        const double cost = completion(c);
+        if (cost < best_cost) {
+            best = c;
+            best_cost = cost;
+        }
+    }
+    return best;
+}
+
+// Registry hook: called from SchedulerRegistry::ensureBuiltins().
+
+void
+registerHeteroSchedTaskTechnique()
+{
+    SchedulerInfo info;
+    info.name = "hetero-schedtask";
+    info.description = "SchedTask on big.LITTLE cores with "
+                       "capability-aware placement (post-paper)";
+    info.options = schedTaskOptionSpecs();
+    info.options.push_back(
+        {"little_frac",
+         "fraction of cores that are LITTLE, in [0, 1) (default "
+         "0.25)"});
+    info.options.push_back(
+        {"little_cost",
+         "execution-cost multiplier of a LITTLE core, >= 1.0 "
+         "(default 2.0)"});
+    info.factory =
+        [](const SchedulerFactoryContext &ctx) -> std::unique_ptr<Scheduler> {
+        HeteroParams h;
+        h.littleFrac = ctx.options.getDouble("little_frac", h.littleFrac);
+        h.littleCostFactor =
+            ctx.options.getDouble("little_cost", h.littleCostFactor);
+        if (h.littleFrac < 0.0 || h.littleFrac >= 1.0)
+            throw SchedulerOptionError(
+                "option 'little_frac' must be in [0, 1)");
+        if (h.littleCostFactor < 1.0)
+            throw SchedulerOptionError(
+                "option 'little_cost' must be >= 1.0");
+        SchedTaskParams p = ctx.schedTask;
+        applySchedTaskOptions(p, ctx.options);
+        return std::make_unique<HeteroSchedTaskScheduler>(h, p);
+    };
+    SchedulerRegistry::instance().registerScheduler(std::move(info));
+}
+
+} // namespace schedtask

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SchedTask on a heterogeneous (big.LITTLE) machine.
+ *
+ * The first post-paper technique: the machine is split into fast
+ * big cores and slow LITTLE cores (MachineParams::littleFrac /
+ * littleCostFactor; the technique brings its own hardware via
+ * configureMachine, the way SelectiveOffload brings 2x cores), and
+ * placement weighs TAlloc's heatmap-overlap-derived core allocation
+ * against core capability: within a type's allocated cores the
+ * SuperFunction goes to the one with the smallest estimated
+ * completion, (queued + 1) dispatches scaled by the core's
+ * execution-cost factor, with ties kept on the overlap home so the
+ * i-cache sharing the paper optimises for is preserved. Inspired by
+ * the state-aware heterogeneous-scheduling line of work (SAHM).
+ */
+
+#ifndef SCHEDTASK_SCHED_HETERO_SCHEDTASK_HH
+#define SCHEDTASK_SCHED_HETERO_SCHEDTASK_HH
+
+#include "core/schedtask_sched.hh"
+
+namespace schedtask
+{
+
+/** Heterogeneity knobs on top of SchedTaskParams. */
+struct HeteroParams
+{
+    /** Fraction of cores that are LITTLE (top of the id range). */
+    double littleFrac = 0.25;
+    /** Execution-cost multiplier of a LITTLE core (>= 1.0). */
+    double littleCostFactor = 2.0;
+};
+
+class HeteroSchedTaskScheduler : public SchedTaskScheduler
+{
+  public:
+    explicit HeteroSchedTaskScheduler(const HeteroParams &hetero = {},
+                                      const SchedTaskParams &params = {});
+
+    const char *name() const override { return "hetero-schedtask"; }
+
+    void configureMachine(MachineParams &params) const override;
+
+  protected:
+    CoreId choosePlacement(SuperFunction *sf,
+                           PlacementReason reason) override;
+
+  private:
+    HeteroParams hetero_;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SCHED_HETERO_SCHEDTASK_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * HTS: a hardware task-queue scheduler (post-paper).
+ *
+ * Models a hardware task scheduling unit in the style of
+ * hardware-queue proposals (HTS, PAPERS.md): runnable
+ * SuperFunctions live in a global hardware queue of type-hashed
+ * FIFO bins, and an idle core dispatches in constant time from a
+ * priority encoder over the bin-occupancy bits. Because enqueue and
+ * dispatch are hardware operations, scheduler entry points execute
+ * zero software instructions; dispatch charges only a small flat
+ * latency (SchedOverhead::fixedCycles). Type-hashed bins plus a
+ * per-core last-bin affinity hint retain some of the i-cache
+ * locality SchedTask gets from TAlloc, without any epoch work.
+ */
+
+#ifndef SCHEDTASK_SCHED_HTS_HH
+#define SCHEDTASK_SCHED_HTS_HH
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace schedtask
+{
+
+/** HTS tunables. */
+struct HtsParams
+{
+    /** Hardware queue bins (SuperFunction types hash onto bins). */
+    unsigned bins = 64;
+    /** Prefer the bin a core last dispatched from. */
+    bool affinity = true;
+    /** Flat hardware dispatch latency, in cycles. */
+    Cycles dispatchCycles = 8;
+};
+
+class HtsScheduler : public Scheduler
+{
+  public:
+    explicit HtsScheduler(const HtsParams &params = {});
+
+    const char *name() const override { return "hts"; }
+
+    void attach(Machine &machine) override;
+
+    void onSfStart(SuperFunction *sf) override;
+    void onSfResume(SuperFunction *parent,
+                    const SuperFunction *completed_child) override;
+    void onSfBlock(SuperFunction *sf) override;
+    void onSfWakeup(SuperFunction *sf) override;
+    void onSfYield(SuperFunction *sf) override;
+    SuperFunction *pickNext(CoreId core) override;
+    bool hasRunnable(CoreId core) const override;
+    CoreId routeIrq(IrqId irq) override;
+    SchedOverhead overheadFor(SchedEvent event,
+                              const SuperFunction *sf) const override;
+    SchedEpochReport epochDecision() const override;
+
+    /** Total queued SuperFunctions (tests). */
+    std::size_t totalQueued() const { return total_; }
+
+  private:
+    static constexpr unsigned kNoBin = ~0u;
+
+    unsigned binOf(SfType type) const;
+    void push(SuperFunction *sf);
+    SuperFunction *popFrom(unsigned bin, CoreId core);
+
+    HtsParams params_;
+    unsigned num_cores_ = 0;
+    std::vector<std::deque<SuperFunction *>> bins_;
+    /** Bin each core last dispatched from (affinity hint). */
+    std::vector<unsigned> last_bin_;
+    std::size_t total_ = 0;
+    /** Round-robin start of the occupancy scan. */
+    unsigned cursor_ = 0;
+    IrqId rr_irq_core_ = 0;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_SCHED_HTS_HH

@@ -68,3 +68,42 @@ LinuxScheduler::epochDecision() const
 }
 
 } // namespace schedtask
+
+// Registry hook: called from SchedulerRegistry::ensureBuiltins().
+
+#include <memory>
+#include <utility>
+
+#include "sched/registry.hh"
+
+namespace schedtask
+{
+
+void
+registerLinuxTechnique()
+{
+    SchedulerInfo info;
+    info.name = "Linux";
+    info.description = "per-core run queues, FCFS timeslicing and a "
+                       "periodic load balancer (the paper's baseline)";
+    info.isBaseline = true;
+    info.paperOrder = 0;
+    info.options = {
+        {"balance_each_epoch",
+         "run the load balancer at every epoch boundary (default 1)"},
+        {"imbalance_threshold",
+         "queue-length difference that triggers a migration (default 2)"},
+    };
+    info.factory =
+        [](const SchedulerFactoryContext &ctx) -> std::unique_ptr<Scheduler> {
+        LinuxSchedParams p;
+        p.balanceEachEpoch =
+            ctx.options.getBool("balance_each_epoch", p.balanceEachEpoch);
+        p.imbalanceThreshold = static_cast<std::size_t>(ctx.options.getUnsigned(
+            "imbalance_threshold", p.imbalanceThreshold));
+        return std::make_unique<LinuxScheduler>(p);
+    };
+    SchedulerRegistry::instance().registerScheduler(std::move(info));
+}
+
+} // namespace schedtask

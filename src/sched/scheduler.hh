@@ -29,6 +29,7 @@ namespace schedtask
 {
 
 class Machine;
+struct MachineParams;
 class PageHeatmap;
 
 /** Which scheduler entry point is being charged for. */
@@ -57,6 +58,12 @@ struct SchedOverhead
 {
     std::uint64_t insts = 0;
     const SfTypeInfo *code = nullptr;
+    /**
+     * Flat latency added to the core clock without fetching any
+     * instructions — the cost model for hardware scheduler queues
+     * (HTS) whose dispatch does not execute software.
+     */
+    Cycles fixedCycles = 0;
 };
 
 /**
@@ -78,6 +85,26 @@ class Scheduler
     coresRequired(unsigned baseline_cores) const
     {
         return baseline_cores;
+    }
+
+    /**
+     * Adjust machine parameters before the Machine is built. The
+     * harness calls this after fixing the core count and before
+     * constructing the Machine. The base implementation applies the
+     * registry's epoch-length override (epoch_ms); techniques that
+     * bring their own hardware (heterogeneous core layouts) extend
+     * it. Must be deterministic and must not retain the reference.
+     */
+    virtual void configureMachine(MachineParams &params) const;
+
+    /**
+     * Override the machine's epoch length; applied by
+     * configureMachine(). 0 keeps the configured value. Set by the
+     * registry's universal epoch_ms option.
+     */
+    void overrideEpochCycles(Cycles cycles)
+    {
+        epoch_cycles_override_ = cycles;
     }
 
     /** Bind to the machine; called once before simulation. */
@@ -157,6 +184,9 @@ class Scheduler
 
   protected:
     Machine *machine_ = nullptr;
+
+  private:
+    Cycles epoch_cycles_override_ = 0;
 };
 
 /**

@@ -103,3 +103,38 @@ SelectiveOffloadScheduler::epochDecision() const
 }
 
 } // namespace schedtask
+
+// Registry hook: called from SchedulerRegistry::ensureBuiltins().
+
+#include <memory>
+#include <utility>
+
+#include "sched/registry.hh"
+
+namespace schedtask
+{
+
+void
+registerSelectiveOffloadTechnique()
+{
+    SchedulerInfo info;
+    info.name = "SelectiveOffload";
+    info.description = "app/OS core split with per-core partner "
+                       "offloading (Nellans et al.); uses 2x cores";
+    info.paperOrder = 1;
+    info.options = {
+        {"offload_threshold",
+         "syscall length in instructions above which work moves to "
+         "the partner OS core (default 100)"},
+    };
+    info.factory =
+        [](const SchedulerFactoryContext &ctx) -> std::unique_ptr<Scheduler> {
+        SelectiveOffloadParams p;
+        p.offloadThresholdInsts = ctx.options.getUnsigned(
+            "offload_threshold", p.offloadThresholdInsts);
+        return std::make_unique<SelectiveOffloadScheduler>(p);
+    };
+    SchedulerRegistry::instance().registerScheduler(std::move(info));
+}
+
+} // namespace schedtask

@@ -158,3 +158,42 @@ SliccScheduler::midSfPlacement(SuperFunction *sf, CoreId current)
 }
 
 } // namespace schedtask
+
+// Registry hook: called from SchedulerRegistry::ensureBuiltins().
+
+#include <memory>
+#include <utility>
+
+#include "sched/registry.hh"
+
+namespace schedtask
+{
+
+void
+registerSliccTechnique()
+{
+    SchedulerInfo info;
+    info.name = "SLICC";
+    info.description = "self-assembling i-cache collectives with "
+                       "hardware thread migration (Atta et al., MICRO "
+                       "2012)";
+    info.paperOrder = 4;
+    info.options = {
+        {"segment_lines",
+         "code segment size in cache lines (default 64)"},
+        {"spill_threshold",
+         "queue depth at which a collective grows (default 1)"},
+    };
+    info.factory =
+        [](const SchedulerFactoryContext &ctx) -> std::unique_ptr<Scheduler> {
+        SliccParams p;
+        p.segmentLines =
+            ctx.options.getUnsigned("segment_lines", p.segmentLines);
+        p.spillThreshold = static_cast<std::size_t>(
+            ctx.options.getUnsigned("spill_threshold", p.spillThreshold));
+        return std::make_unique<SliccScheduler>(p);
+    };
+    SchedulerRegistry::instance().registerScheduler(std::move(info));
+}
+
+} // namespace schedtask

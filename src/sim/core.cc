@@ -19,7 +19,8 @@ struct SfTypeContextGuard
 } // namespace
 
 Core::Core(CoreId id, Machine &machine, unsigned heatmap_bits, Rng rng)
-    : id_(id), m_(machine), heatmap_(heatmap_bits), rng_(rng)
+    : id_(id), m_(machine), cost_factor_(machine.coreCostFactor(id)),
+      heatmap_(heatmap_bits), rng_(rng)
 {
     const SfTypeInfo &sched_code = m_.schedulerCode();
     overhead_walker_.reset(&sched_code.code, sched_code.jumpProb,
@@ -78,7 +79,7 @@ Core::startIrqHandler()
 
     m_.recordIrqServiced(clock_ > irq.raisedAt ? clock_ - irq.raisedAt
                                                : 0);
-    clock_ += m_.params().irqEntryCycles;
+    clock_ += scaleCost(m_.params().irqEntryCycles);
 
     if (current_ != nullptr) {
         endSlice(current_);
@@ -118,6 +119,9 @@ void
 Core::chargeOverhead(SchedEvent event, const SuperFunction *sf)
 {
     const SchedOverhead oh = m_.sched().overheadFor(event, sf);
+    // Hardware scheduler latency (HTS): a flat clock charge with no
+    // instruction fetch, independent of core speed.
+    clock_ += oh.fixedCycles;
     if (oh.insts == 0)
         return;
     const Footprint *code =
@@ -129,8 +133,8 @@ Core::chargeOverhead(SchedEvent event, const SuperFunction *sf)
         (oh.insts + instsPerFetchBlock - 1) / instsPerFetchBlock;
     for (std::uint64_t b = 0; b < blocks; ++b) {
         const Addr line = overhead_walker_.nextLine(rng_);
-        clock_ += m_.params().blockBaseCycles
-            + m_.hierarchy().fetch(id_, line, ExecClass::Os);
+        clock_ += scaleCost(m_.params().blockBaseCycles
+                            + m_.hierarchy().fetch(id_, line, ExecClass::Os));
     }
     m_.recordOverheadInsts(blocks * instsPerFetchBlock);
 }
@@ -250,7 +254,7 @@ Core::executeCurrent(Cycles limit)
             cost += m_.hierarchy().data(id_, daddr, write, cls);
         }
 
-        clock_ += cost;
+        clock_ += scaleCost(cost);
         if (heatmap_on)
             heatmap_.insertAddr(line);
         if (m_.exactPagesEnabled())

@@ -101,9 +101,26 @@ class Core
     /** Pick a data address for the running SuperFunction. */
     Addr pickDataAddr(const SuperFunction *sf);
 
+    /**
+     * Apply this core's execution-cost multiplier (big.LITTLE).
+     * Big cores (factor 1.0) take the untouched fast path, keeping
+     * homogeneous runs bitwise identical.
+     */
+    Cycles
+    scaleCost(Cycles cycles) const
+    {
+        if (cost_factor_ == 1.0)
+            return cycles;
+        return static_cast<Cycles>(static_cast<double>(cycles) *
+                                       cost_factor_ +
+                                   0.5);
+    }
+
     CoreId id_;
     Machine &m_;
     Cycles clock_ = 0;
+    /** Execution-cost multiplier (1.0 = big core). */
+    double cost_factor_ = 1.0;
     /** Recently touched data lines: temporal bursts (stack slots,
      *  struct fields) re-access the same lines. */
     static constexpr unsigned recentDataSize = 16;

@@ -23,6 +23,19 @@ Machine::Machine(const MachineParams &params, const HierarchyParams &hier,
     hp.numCores = params_.numCores;
     hierarchy_ = std::make_unique<MemHierarchy>(hp);
 
+    // big.LITTLE layout: the top floor(numCores * littleFrac) core
+    // ids are LITTLE. At least one big core always remains.
+    unsigned little = 0;
+    if (params_.littleFrac > 0.0) {
+        little = static_cast<unsigned>(static_cast<double>(params_.numCores) *
+                                       params_.littleFrac);
+        if (little >= params_.numCores)
+            little = params_.numCores - 1;
+        SCHEDTASK_ASSERT(params_.littleCostFactor >= 1.0,
+                         "littleCostFactor must be >= 1.0");
+    }
+    little_base_ = params_.numCores - little;
+
     heatmaps_enabled_ = scheduler_->wantsHeatmap();
     scheduler_->attach(*this);
 

@@ -71,6 +71,15 @@ struct MachineParams
     /** Page-heatmap register width (Section 6.5 sweeps this). */
     unsigned heatmapBits = 512;
 
+    /** Fraction of cores that are LITTLE in a big.LITTLE layout
+     *  (hetero-schedtask). The LITTLE cores occupy the top of the
+     *  core-id range; 0.0 keeps the machine homogeneous. */
+    double littleFrac = 0.0;
+
+    /** Execution-cost multiplier of a LITTLE core (>= 1.0). Only
+     *  consulted when littleFrac > 0. */
+    double littleCostFactor = 2.0;
+
     /** Record per-epoch instruction breakups (Section 4.4). */
     bool recordEpochBreakups = false;
 
@@ -153,6 +162,19 @@ class Machine
         return threads_;
     }
     Core &core(CoreId id) { return *cores_[id]; }
+
+    /** Number of LITTLE cores (0 on a homogeneous machine). */
+    unsigned littleCount() const { return params_.numCores - little_base_; }
+
+    /** True when the core is a LITTLE core. */
+    bool isLittleCore(CoreId id) const { return id >= little_base_; }
+
+    /** Execution-cost multiplier of a core (1.0 for big cores). */
+    double
+    coreCostFactor(CoreId id) const
+    {
+        return isLittleCore(id) ? params_.littleCostFactor : 1.0;
+    }
 
     /** Workload part count (event attribution). */
     unsigned numParts() const { return num_parts_; }
@@ -294,6 +316,8 @@ class Machine
     const SfTypeInfo *sched_code_;
     unsigned num_parts_ = 0;
     bool heatmaps_enabled_ = false;
+    /** First LITTLE core id; numCores when all cores are big. */
+    CoreId little_base_ = 0;
 
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<Thread>> threads_;

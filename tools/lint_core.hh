@@ -20,6 +20,9 @@
  *   SAFE-02 abort() instead of SCHEDTASK_PANIC; redundant `virtual`
  *           on an `override` declaration
  *   STY-01  header guards must be SCHEDTASK_<PATH>_HH
+ *   REG-01  `switch` over a Technique value outside the sanctioned
+ *           shim (src/harness/experiment.cc); techniques dispatch
+ *           through the SchedulerRegistry by name
  *   LINT-00 a `lint:allow` pragma with no reason text
  *
  * Any rule except LINT-00 can be silenced for one line with

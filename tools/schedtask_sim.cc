@@ -12,9 +12,12 @@
  *                        MailSrvIO|OLTP (default Apache)
  *     --bag NAME         run a multi-programmed bag (MPW-A..MPW-F)
  *                        instead of a single benchmark
- *     --technique NAME   Linux|SelectiveOffload|FlexSC|
- *                        DisAggregateOS|SLICC|SchedTask
- *                        (default SchedTask)
+ *     --technique SPEC   NAME[:key=val,...] — any technique in the
+ *                        scheduler registry, with per-technique
+ *                        options (default SchedTask); see
+ *                        --list-techniques
+ *     --list-techniques  print registered techniques and their
+ *                        option keys, sorted, and exit
  *     --cores N          baseline cores (default 32)
  *     --scale X          workload scale (default 2.0)
  *     --warmup N         warmup epochs (default 4)
@@ -51,6 +54,7 @@
 
 #include "common/parse_num.hh"
 #include "core/schedtask_sched.hh"
+#include "sched/registry.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "harness/sweep.hh"
@@ -75,8 +79,12 @@ usage(int code)
         "  --benchmark NAME   one of the 8 paper benchmarks "
         "(default Apache)\n"
         "  --bag NAME         multi-programmed bag MPW-A..MPW-F\n"
-        "  --technique NAME   Linux|SelectiveOffload|FlexSC|"
-        "DisAggregateOS|SLICC|SchedTask\n"
+        "  --technique SPEC   NAME[:key=val,...], any registered "
+        "technique\n"
+        "                     (see --list-techniques; default "
+        "SchedTask)\n"
+        "  --list-techniques  print registered techniques and their\n"
+        "                     option keys, sorted, and exit\n"
         "  --cores N          baseline cores (default 32)\n"
         "  --scale X          workload scale (default 2.0)\n"
         "  --warmup N         warmup epochs (default 4)\n"
@@ -102,18 +110,75 @@ usage(int code)
     std::exit(code);
 }
 
-Technique
-parseTechnique(const std::string &name)
+/**
+ * Parse and validate "--technique NAME[:key=val,...]" against the
+ * registry. Unknown names exit 2 listing the registered techniques;
+ * grammar errors and unknown option keys exit 2 with the registry's
+ * diagnostic. Option *values* are validated when the scheduler is
+ * built (see probeTechnique()).
+ */
+TechniqueSpec
+parseTechniqueArg(const std::string &text)
 {
-    for (Technique t :
-         {Technique::Linux, Technique::SelectiveOffload,
-          Technique::FlexSC, Technique::DisAggregateOS,
-          Technique::SLICC, Technique::SchedTask}) {
-        if (name == techniqueName(t))
-            return t;
+    try {
+        TechniqueSpec spec = parseTechniqueSpec(text);
+        const SchedulerRegistry &reg = SchedulerRegistry::instance();
+        const SchedulerInfo *info = reg.find(spec.name);
+        if (info == nullptr) {
+            std::string names;
+            for (const std::string &name : reg.names())
+                names += names.empty() ? name : ", " + name;
+            std::fprintf(stderr,
+                         "schedtask-sim: unknown technique '%s'\n"
+                         "registered techniques: %s\n",
+                         spec.name.c_str(), names.c_str());
+            std::exit(2);
+        }
+        spec.name = info->name; // canonical display casing
+        reg.validateOptions(*info, spec.options);
+        return spec;
+    } catch (const SchedulerOptionError &e) {
+        std::fprintf(stderr, "schedtask-sim: %s\n", e.what());
+        std::exit(2);
     }
-    std::fprintf(stderr, "unknown technique: %s\n", name.c_str());
-    std::exit(2);
+}
+
+/** Build-and-discard the scheduler so malformed option values are
+ *  reported with exit 2 before any simulation starts. */
+void
+probeTechnique(const TechniqueSpec &spec, const SchedTaskParams &st)
+{
+    try {
+        (void)makeScheduler(spec, st);
+    } catch (const SchedulerOptionError &e) {
+        std::fprintf(stderr, "schedtask-sim: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/** --list-techniques: names + option keys, deterministically
+ *  sorted (registry names are sorted; option keys sorted at
+ *  registration). */
+[[noreturn]] void
+listTechniques()
+{
+    const SchedulerRegistry &reg = SchedulerRegistry::instance();
+    std::printf("registered techniques:\n");
+    for (const std::string &name : reg.names()) {
+        const SchedulerInfo *info = reg.find(name);
+        std::printf("  %-18s %s%s\n", name.c_str(),
+                    info->description.c_str(),
+                    info->isBaseline ? " [baseline]" : "");
+        for (const SchedulerOptionSpec &opt : info->options)
+            std::printf("    %-18s %s\n", opt.key.c_str(),
+                        opt.help.c_str());
+    }
+    std::printf("universal options (any technique):\n");
+    for (const SchedulerOptionSpec &opt :
+         SchedulerRegistry::universalOptions())
+        std::printf("    %-18s %s\n", opt.key.c_str(),
+                    opt.help.c_str());
+    std::exit(0);
 }
 
 /** Strictly parsed unsigned flag value; exits 2 on bad input. */
@@ -196,7 +261,7 @@ main(int argc, char **argv)
 {
     std::string benchmark = "Apache";
     std::optional<std::string> bag;
-    Technique technique = Technique::SchedTask;
+    TechniqueSpec spec; // defaults to SchedTask, no options
     unsigned cores = 32;
     double scale = 2.0;
     unsigned warmup = 4, measure = 6;
@@ -226,7 +291,9 @@ main(int argc, char **argv)
         } else if (arg == "--bag") {
             bag = next();
         } else if (arg == "--technique") {
-            technique = parseTechnique(next());
+            spec = parseTechniqueArg(next());
+        } else if (arg == "--list-techniques") {
+            listTechniques();
         } else if (arg == "--cores") {
             cores = static_cast<unsigned>(
                 requireUnsigned("--cores", next(), 1));
@@ -290,7 +357,13 @@ main(int argc, char **argv)
     cfg.machine.seed = seed;
     cfg.schedTask.stealPolicy = steal;
 
-    const std::string run_name(techniqueName(technique));
+    // Surface malformed option *values* (keys were checked at parse
+    // time) as a usage error before any simulation starts.
+    probeTechnique(spec, cfg.schedTask);
+    const bool is_baseline =
+        SchedulerRegistry::instance().isBaseline(spec.name);
+
+    const std::string run_name = spec.str();
     const std::string title =
         run_name + " on " + (bag ? *bag : benchmark);
     const bool wants_trace_files =
@@ -306,10 +379,10 @@ main(int argc, char **argv)
         // --trace-dir writes one trace-file pair per run label.
         Sweep sweep;
         sweep.deriveSeeds(false);
-        if (want_compare && technique != Technique::Linux)
-            sweep.addComparison("run", run_name, cfg, technique);
+        if (want_compare && !is_baseline)
+            sweep.addComparison("run", run_name, cfg, spec);
         else
-            sweep.add("run", run_name, cfg, technique);
+            sweep.add("run", run_name, cfg, spec);
         SweepOptions opts;
         opts.jobs = jobs;
         opts.progress = false;
@@ -323,7 +396,7 @@ main(int argc, char **argv)
                                   r.numThreads, r.freqGhz)
                         .render()
                         .c_str());
-        if (want_compare && technique != Technique::Linux) {
+        if (want_compare && !is_baseline) {
             const RunResult &base =
                 results.at(baselineLabelFor("run", cfg));
             std::printf("vs Linux baseline: throughput %+0.1f%%, "
@@ -344,9 +417,10 @@ main(int argc, char **argv)
     BenchmarkSuite suite;
     Workload workload =
         Workload::build(suite, cfg.parts, cfg.baselineCores);
-    auto sched = makeScheduler(technique, cfg.schedTask);
+    auto sched = makeScheduler(spec, cfg.schedTask);
     MachineParams mp = cfg.machine;
     mp.numCores = sched->coresRequired(cfg.baselineCores);
+    sched->configureMachine(mp);
     mp.trace = wants_trace_files;
     Machine machine(mp, cfg.hierarchy, suite, workload, *sched);
 
@@ -367,7 +441,7 @@ main(int argc, char **argv)
                     .render()
                     .c_str());
 
-    if (want_compare && technique != Technique::Linux) {
+    if (want_compare && !is_baseline) {
         const RunResult base = runOnce(cfg, Technique::Linux);
         const double dthr = percentChange(
             base.instThroughput(),
