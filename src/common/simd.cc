@@ -1,0 +1,157 @@
+#include "common/simd.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace schedtask::simd
+{
+
+namespace
+{
+
+/** The three kernel tables, indexed by IsaLevel. On non-x86 builds
+ *  every level resolves to the scalar table. */
+const Kernels kTables[] = {
+    {detail::orWordsScalar, detail::andPopcountScalar,
+     detail::popcountScalar, detail::clearScalar},
+#if SCHEDTASK_SIMD_X86
+    {detail::orWordsAvx2, detail::andPopcountAvx2,
+     detail::popcountAvx2, detail::clearAvx2},
+    {detail::orWordsAvx512, detail::andPopcountAvx512,
+     detail::popcountAvx512, detail::clearAvx512},
+#else
+    {detail::orWordsScalar, detail::andPopcountScalar,
+     detail::popcountScalar, detail::clearScalar},
+    {detail::orWordsScalar, detail::andPopcountScalar,
+     detail::popcountScalar, detail::clearScalar},
+#endif
+};
+
+struct State
+{
+    IsaLevel level;
+};
+
+/**
+ * Resolve the startup dispatch level: SCHEDTASK_SIMD when set
+ * (garbage or an unsupported level is a usage error, exit 2 like any
+ * invalid schedtask-sim flag), otherwise the best supported level.
+ */
+State
+initialState()
+{
+    const char *env = std::getenv("SCHEDTASK_SIMD");
+    if (env == nullptr)
+        return State{bestSupported()};
+    const std::optional<IsaLevel> level = parseLevel(env);
+    if (!level) {
+        std::fprintf(stderr,
+                     "schedtask: invalid SCHEDTASK_SIMD value '%s' "
+                     "(expected scalar|avx2|avx512|auto)\n",
+                     env);
+        std::exit(2);
+    }
+    if (!supported(*level)) {
+        std::fprintf(stderr,
+                     "schedtask: SCHEDTASK_SIMD=%s is not supported "
+                     "by this CPU\n",
+                     env);
+        std::exit(2);
+    }
+    return State{*level};
+}
+
+State &
+state()
+{
+    static State s = initialState();
+    return s;
+}
+
+} // namespace
+
+bool
+supported(IsaLevel level)
+{
+#if SCHEDTASK_SIMD_X86
+    switch (level) {
+      case IsaLevel::Scalar:
+        return true;
+      case IsaLevel::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+      case IsaLevel::Avx512:
+        return __builtin_cpu_supports("avx512f") != 0
+            && __builtin_cpu_supports("avx512vpopcntdq") != 0;
+    }
+    return false;
+#else
+    return level == IsaLevel::Scalar;
+#endif
+}
+
+IsaLevel
+bestSupported()
+{
+    if (supported(IsaLevel::Avx512))
+        return IsaLevel::Avx512;
+    if (supported(IsaLevel::Avx2))
+        return IsaLevel::Avx2;
+    return IsaLevel::Scalar;
+}
+
+const Kernels &
+kernelsFor(IsaLevel level)
+{
+    return kTables[static_cast<unsigned>(level)];
+}
+
+const Kernels &
+active()
+{
+    return kernelsFor(state().level);
+}
+
+IsaLevel
+activeLevel()
+{
+    return state().level;
+}
+
+bool
+select(IsaLevel level)
+{
+    if (!supported(level))
+        return false;
+    state().level = level;
+    return true;
+}
+
+std::optional<IsaLevel>
+parseLevel(std::string_view text)
+{
+    if (text == "scalar")
+        return IsaLevel::Scalar;
+    if (text == "avx2")
+        return IsaLevel::Avx2;
+    if (text == "avx512")
+        return IsaLevel::Avx512;
+    if (text == "auto")
+        return bestSupported();
+    return std::nullopt;
+}
+
+const char *
+levelName(IsaLevel level)
+{
+    switch (level) {
+      case IsaLevel::Scalar:
+        return "scalar";
+      case IsaLevel::Avx2:
+        return "avx2";
+      case IsaLevel::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+} // namespace schedtask::simd

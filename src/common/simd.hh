@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Vectorized bit-vector kernels with runtime CPU dispatch.
+ *
+ * The Page-heatmap (Section 3.2) is a 512-bit register AND/OR/
+ * popcount engine; on the host that maps exactly onto two AVX2
+ * vectors or one AVX-512 register. This layer provides the four word
+ * kernels behind PageHeatmap (or, fused and+popcount, popcount,
+ * clear) in three implementations — scalar, AVX2, AVX-512 — and
+ * picks one at startup from what the CPU supports, overridable with
+ * SCHEDTASK_SIMD=scalar|avx2|avx512|auto.
+ *
+ * All kernels are pure integer bit operations, so every
+ * implementation produces bit-identical results by construction;
+ * tests/test_simd.cc verifies the equivalence exhaustively at every
+ * supported heatmap width. The scalar path is the reference and the
+ * portable fallback for non-x86 builds.
+ *
+ * By convention (lint rule SIMD-01) this header is the only file in
+ * the tree allowed to contain vector intrinsics or __AVX feature
+ * macros: keeping the ISA surface in one place is what makes the
+ * scalar/SIMD equivalence auditable.
+ */
+
+#ifndef SCHEDTASK_COMMON_SIMD_HH
+#define SCHEDTASK_COMMON_SIMD_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SCHEDTASK_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SCHEDTASK_SIMD_X86 0
+#endif
+
+namespace schedtask::simd
+{
+
+/** Instruction-set level of a kernel table. */
+enum class IsaLevel : std::uint8_t
+{
+    Scalar = 0, ///< portable reference path
+    Avx2 = 1,   ///< 256-bit vectors, scalar popcnt per lane
+    Avx512 = 2, ///< 512-bit vectors with VPOPCNTDQ
+};
+
+/**
+ * The four word-granular kernels the heatmap layer runs on. All
+ * operate on arrays of 64-bit words (a heatmap of B bits is B/64
+ * words); none require any particular alignment.
+ */
+struct Kernels
+{
+    /** dst[i] |= src[i] for i in [0, n). */
+    void (*orWords)(std::uint64_t *dst, const std::uint64_t *src,
+                    std::size_t n);
+    /** Hamming weight of the elementwise AND (fused, no temp). */
+    std::uint64_t (*andPopcount)(const std::uint64_t *a,
+                                 const std::uint64_t *b,
+                                 std::size_t n);
+    /** Total Hamming weight of w[0..n). */
+    std::uint64_t (*popcount)(const std::uint64_t *w, std::size_t n);
+    /** Zero w[0..n). */
+    void (*clear)(std::uint64_t *w, std::size_t n);
+};
+
+namespace detail
+{
+
+// ------------------------------------------------------------------
+// Scalar reference kernels.
+
+inline void
+orWordsScalar(std::uint64_t *dst, const std::uint64_t *src,
+              std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+inline std::uint64_t
+andPopcountScalar(const std::uint64_t *a, const std::uint64_t *b,
+                  std::size_t n)
+{
+    std::uint64_t weight = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        weight += static_cast<std::uint64_t>(
+            std::popcount(a[i] & b[i]));
+    return weight;
+}
+
+inline std::uint64_t
+popcountScalar(const std::uint64_t *w, std::size_t n)
+{
+    std::uint64_t weight = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        weight += static_cast<std::uint64_t>(std::popcount(w[i]));
+    return weight;
+}
+
+inline void
+clearScalar(std::uint64_t *w, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0;
+}
+
+#if SCHEDTASK_SIMD_X86
+
+// ------------------------------------------------------------------
+// AVX2: four words per vector. There is no vector popcount below
+// AVX-512/VPOPCNTDQ, so the popcount kernels AND/load in 256-bit
+// strides and run the hardware popcnt on the extracted lanes.
+
+__attribute__((target("avx2"))) inline void
+orWordsAvx2(std::uint64_t *dst, const std::uint64_t *src,
+            std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t
+andPopcountAvx2(const std::uint64_t *a, const std::uint64_t *b,
+                std::size_t n)
+{
+    std::uint64_t weight = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_and_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + i)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + i)));
+        alignas(32) std::uint64_t lane[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lane), v);
+        weight += static_cast<std::uint64_t>(std::popcount(lane[0]))
+            + static_cast<std::uint64_t>(std::popcount(lane[1]))
+            + static_cast<std::uint64_t>(std::popcount(lane[2]))
+            + static_cast<std::uint64_t>(std::popcount(lane[3]));
+    }
+    for (; i < n; ++i)
+        weight += static_cast<std::uint64_t>(
+            std::popcount(a[i] & b[i]));
+    return weight;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t
+popcountAvx2(const std::uint64_t *w, std::size_t n)
+{
+    std::uint64_t weight = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w + i));
+        alignas(32) std::uint64_t lane[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lane), v);
+        weight += static_cast<std::uint64_t>(std::popcount(lane[0]))
+            + static_cast<std::uint64_t>(std::popcount(lane[1]))
+            + static_cast<std::uint64_t>(std::popcount(lane[2]))
+            + static_cast<std::uint64_t>(std::popcount(lane[3]));
+    }
+    for (; i < n; ++i)
+        weight += static_cast<std::uint64_t>(std::popcount(w[i]));
+    return weight;
+}
+
+__attribute__((target("avx2"))) inline void
+clearAvx2(std::uint64_t *w, std::size_t n)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(w + i), zero);
+    for (; i < n; ++i)
+        w[i] = 0;
+}
+
+// ------------------------------------------------------------------
+// AVX-512 with VPOPCNTDQ: a 512-bit heatmap is one register, and
+// the popcount runs per 64-bit lane in a single instruction.
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) inline void
+orWordsAvx512(std::uint64_t *dst, const std::uint64_t *src,
+              std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i d = _mm512_loadu_si512(dst + i);
+        const __m512i s = _mm512_loadu_si512(src + i);
+        _mm512_storeu_si512(dst + i, _mm512_or_si512(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+/** Horizontal sum of eight 64-bit lanes. Spelled as a store + scalar
+ *  sum: _mm512_reduce_add_epi64 trips a GCC -Wuninitialized false
+ *  positive (it pads with _mm256_undefined_si256) under -Werror. */
+__attribute__((target("avx512f,avx512vpopcntdq"))) inline std::uint64_t
+sumLanesAvx512(__m512i v)
+{
+    alignas(64) std::uint64_t lane[8];
+    _mm512_store_si512(lane, v);
+    return lane[0] + lane[1] + lane[2] + lane[3] + lane[4] + lane[5]
+        + lane[6] + lane[7];
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) inline std::uint64_t
+andPopcountAvx512(const std::uint64_t *a, const std::uint64_t *b,
+                  std::size_t n)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i v = _mm512_and_si512(_mm512_loadu_si512(a + i),
+                                           _mm512_loadu_si512(b + i));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+    }
+    std::uint64_t weight = sumLanesAvx512(acc);
+    for (; i < n; ++i)
+        weight += static_cast<std::uint64_t>(
+            std::popcount(a[i] & b[i]));
+    return weight;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) inline std::uint64_t
+popcountAvx512(const std::uint64_t *w, std::size_t n)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_loadu_si512(w + i)));
+    std::uint64_t weight = sumLanesAvx512(acc);
+    for (; i < n; ++i)
+        weight += static_cast<std::uint64_t>(std::popcount(w[i]));
+    return weight;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) inline void
+clearAvx512(std::uint64_t *w, std::size_t n)
+{
+    const __m512i zero = _mm512_setzero_si512();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm512_storeu_si512(w + i, zero);
+    for (; i < n; ++i)
+        w[i] = 0;
+}
+
+#endif // SCHEDTASK_SIMD_X86
+
+} // namespace detail
+
+/** True when the host CPU can run kernels of this level. */
+bool supported(IsaLevel level);
+
+/** The best level the host supports (what "auto" resolves to). */
+IsaLevel bestSupported();
+
+/** The kernel table of one specific level (test/bench access; does
+ *  not require or change the active selection). The caller must
+ *  ensure the level is supported(). */
+const Kernels &kernelsFor(IsaLevel level);
+
+/**
+ * The active kernel table. First use resolves the SCHEDTASK_SIMD
+ * environment override (default "auto"); a garbage or unsupported
+ * value is a usage error and exits with code 2, matching the
+ * schedtask-sim flag-validation convention.
+ */
+const Kernels &active();
+
+/** Level of the active table. */
+IsaLevel activeLevel();
+
+/**
+ * Re-select the dispatch level (the --simd CLI path).
+ *
+ * @return false when the host does not support the level; the
+ *         active table is unchanged in that case.
+ */
+bool select(IsaLevel level);
+
+/** Parse "scalar|avx2|avx512|auto"; nullopt on anything else. */
+std::optional<IsaLevel> parseLevel(std::string_view text);
+
+/** Lower-case display name of a level. */
+const char *levelName(IsaLevel level);
+
+} // namespace schedtask::simd
+
+#endif // SCHEDTASK_COMMON_SIMD_HH

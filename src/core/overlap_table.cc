@@ -29,24 +29,59 @@ OverlapTable::build(const StatsTable &stats, OverlapFn &&fn)
 {
     OverlapTable table;
     const auto &rows = stats.rows();
-    for (const auto &[raw_a, entry_a] : rows) {
-        const SfType type_a = SfType::fromRaw(raw_a);
+
+    // Snapshot the rows in iteration order once: the overlap measure
+    // is symmetric (AND of heatmaps / set intersection), so each
+    // unordered pair is computed a single time below and emitted in
+    // both directions. The per-list peer order (and thus the
+    // stable-sort tie order) still follows the map's own iteration
+    // order, exactly as the old double loop produced it.
+    struct Row
+    {
+        std::uint64_t raw;
+        const StatsEntry *entry;
+    };
+    std::vector<Row> order;
+    order.reserve(rows.size());
+    for (const auto &[raw, entry] : rows)
+        order.push_back(Row{raw, &entry});
+
+    const std::size_t n = order.size();
+    std::vector<std::vector<std::uint64_t>> pair(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pair[i].resize(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const SfType type_i = SfType::fromRaw(order[i].raw);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (!comparableCategories(type_i,
+                                      SfType::fromRaw(order[j].raw)))
+                continue;
+            const std::uint64_t ov =
+                fn(*order[i].entry, *order[j].entry);
+            pair[i][j] = ov;
+            pair[j][i] = ov;
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const SfType type_i = SfType::fromRaw(order[i].raw);
         std::vector<OverlapPeer> peers;
-        peers.reserve(rows.size());
-        for (const auto &[raw_b, entry_b] : rows) {
-            if (raw_a == raw_b)
+        peers.reserve(n);
+        auto &index = table.index_[order[i].raw];
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
                 continue;
-            const SfType type_b = SfType::fromRaw(raw_b);
-            if (!comparableCategories(type_a, type_b))
+            const SfType type_j = SfType::fromRaw(order[j].raw);
+            if (!comparableCategories(type_i, type_j))
                 continue;
-            peers.push_back(OverlapPeer{
-                type_b, fn(entry_a, entry_b)});
+            peers.push_back(OverlapPeer{type_j, pair[i][j]});
+            index.emplace(order[j].raw, pair[i][j]);
         }
         std::stable_sort(peers.begin(), peers.end(),
                          [](const OverlapPeer &x, const OverlapPeer &y) {
                              return x.overlap > y.overlap;
                          });
-        table.lists_.emplace(raw_a, std::move(peers));
+        table.lists_.emplace(order[i].raw, std::move(peers));
     }
     return table;
 }
@@ -80,10 +115,11 @@ OverlapTable::peersOf(SfType type) const
 std::uint64_t
 OverlapTable::overlapBetween(SfType a, SfType b) const
 {
-    for (const OverlapPeer &peer : peersOf(a))
-        if (peer.type == b)
-            return peer.overlap;
-    return 0;
+    const auto row = index_.find(a.raw());
+    if (row == index_.end())
+        return 0;
+    const auto cell = row->second.find(b.raw());
+    return cell == row->second.end() ? 0 : cell->second;
 }
 
 std::vector<OverlapPeer>

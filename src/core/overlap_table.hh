@@ -48,7 +48,9 @@ class OverlapTable
     /** Peers of a type, best first; empty list when unknown. */
     const std::vector<OverlapPeer> &peersOf(SfType type) const;
 
-    /** Overlap between two specific types; 0 when not tabulated. */
+    /** Overlap between two specific types; 0 when not tabulated.
+     *  O(1): answered from a hash index built alongside the sorted
+     *  lists (TMigrate queries this repeatedly per epoch). */
     std::uint64_t overlapBetween(SfType a, SfType b) const;
 
     /** Number of types with entries. */
@@ -68,6 +70,12 @@ class OverlapTable
     static OverlapTable build(const StatsTable &stats, OverlapFn &&fn);
 
     std::unordered_map<std::uint64_t, std::vector<OverlapPeer>> lists_;
+    /** (type a, type b) -> overlap, keyed per source type. Mirrors
+     *  lists_ exactly; only non-zero values need storing, zero is
+     *  the overlapBetween() miss default anyway. */
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<std::uint64_t,
+                                          std::uint64_t>> index_;
 };
 
 } // namespace schedtask

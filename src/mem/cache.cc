@@ -24,6 +24,10 @@ Cache::Cache(const CacheParams &params)
     : params_(params)
 {
     SCHEDTASK_ASSERT(params_.assoc > 0, "associativity must be positive");
+    SCHEDTASK_ASSERT(params_.assoc <= maxAssoc,
+                     "associativity ", params_.assoc,
+                     " exceeds the packed-way rank field (max ",
+                     maxAssoc, ")");
     SCHEDTASK_ASSERT(params_.sizeBytes % (params_.blockBytes * params_.assoc)
                          == 0,
                      "cache size must be a multiple of assoc * block size");
@@ -40,6 +44,9 @@ Cache::Cache(const CacheParams &params)
 std::optional<Addr>
 Cache::insertTag(Addr tag)
 {
+    SCHEDTASK_ASSERT(tag <= tagMask,
+                     "block tag ", tag, " exceeds the packed 58-bit ",
+                     "tag field");
     const std::uint64_t base_index = setIndexOfTag(tag) * params_.assoc;
     Way *base = &ways_[base_index];
 
@@ -48,43 +55,60 @@ Cache::insertTag(Addr tag)
     // must not shadow it, or the set ends up holding the same block
     // twice (duplicate valid tags corrupt validBlocks() and LRU).
     Way *victim = nullptr;
+    unsigned valid_count = 0;
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].lru == 0) {
-            if (victim == nullptr || victim->lru != 0)
+        if (!isValid(base[w])) {
+            if (victim == nullptr || isValid(*victim))
                 victim = &base[w];
             continue;
         }
-        if (base[w].tag == tag) {
+        ++valid_count;
+        if ((base[w].raw & tagMask) == tag) {
             // Already present (racy double-insert); just touch.
-            // Fifo keeps the original insertion stamp (the block is
+            // Fifo keeps the original insertion order (the block is
             // not re-inserted), matching the access() semantics.
             if (lru_refresh_)
-                base[w].lru = ++lru_clock_;
+                touchWay(base, w);
             mru_index_ = base_index + w;
             return std::nullopt;
         }
-        // Lru evicts the smallest timestamp; Fifo works identically
-        // because insert() stamps but access() refreshes only under
-        // Lru (see access()). An invalid way, once found, always
-        // wins over any valid candidate.
+        // Lru evicts the lowest rank (the set's oldest); Fifo works
+        // identically because insert() reorders but access()
+        // refreshes only under Lru (see access()). An invalid way,
+        // once found, always wins over any valid candidate.
         if (victim == nullptr
-                || (victim->lru != 0 && base[w].lru < victim->lru))
+                || (isValid(*victim)
+                    && rankOf(base[w]) < rankOf(*victim)))
             victim = &base[w];
     }
-    if (victim->lru != 0
+    if (isValid(*victim)
             && params_.replacement == ReplacementPolicy::Random) {
         // 16-bit Galois LFSR: deterministic pseudo-random way.
         lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xb400u);
         victim = &base[lfsr_ % params_.assoc];
-        if (victim->tag == tag) // never evict the incoming block
+        if ((victim->raw & tagMask) == tag) // never evict the incoming block
             victim = &base[(lfsr_ + 1) % params_.assoc];
     }
 
+    // Slot the incoming block in at the top of the set's recency
+    // order. Displacing a valid way removes it from the permutation
+    // first (ways above it slide down), so valid ranks stay a dense
+    // 0..valid-1 permutation either way.
     std::optional<Addr> evicted;
-    if (victim->lru != 0)
-        evicted = victim->tag << block_shift_;
-    victim->tag = tag;
-    victim->lru = ++lru_clock_;
+    std::uint64_t new_rank;
+    if (isValid(*victim)) {
+        evicted = (victim->raw & tagMask) << block_shift_;
+        // Branchless removal from the recency order: invalid ways
+        // and the victim itself never test as above the victim.
+        const std::uint64_t rank = rankOf(*victim);
+        for (unsigned v = 0; v < params_.assoc; ++v)
+            base[v].raw -=
+                std::uint64_t{rankOf(base[v]) > rank} << rankShift;
+        new_rank = valid_count - 1;
+    } else {
+        new_rank = valid_count;
+    }
+    victim->raw = tag | (new_rank << rankShift) | validBit;
     mru_index_ = static_cast<std::uint64_t>(victim - ways_.data());
     return evicted;
 }
@@ -94,7 +118,7 @@ Cache::containsSlow(Addr tag) const
 {
     const Way *base = &ways_[setIndexOfTag(tag) * params_.assoc];
     for (unsigned w = 0; w < params_.assoc; ++w)
-        if (base[w].tag == tag && base[w].lru != 0)
+        if (wayHits(base[w], tag))
             return true;
     return false;
 }
@@ -103,7 +127,7 @@ void
 Cache::flush()
 {
     for (auto &w : ways_)
-        w.lru = 0;
+        w.raw &= tagMask; // clears valid and rank, keeps stale tags
 }
 
 std::uint64_t
@@ -111,7 +135,7 @@ Cache::validBlocks() const
 {
     std::uint64_t n = 0;
     for (const auto &w : ways_)
-        n += w.lru != 0 ? 1 : 0;
+        n += isValid(w) ? 1 : 0;
     return n;
 }
 
@@ -121,10 +145,12 @@ Cache::tagsUnique() const
     for (std::uint64_t set = 0; set < num_sets_; ++set) {
         const Way *base = &ways_[set * params_.assoc];
         for (unsigned a = 0; a < params_.assoc; ++a) {
-            if (base[a].lru == 0)
+            if (!isValid(base[a]))
                 continue;
             for (unsigned b = a + 1; b < params_.assoc; ++b)
-                if (base[b].lru != 0 && base[b].tag == base[a].tag)
+                if (isValid(base[b])
+                        && (base[b].raw & tagMask)
+                               == (base[a].raw & tagMask))
                     return false;
         }
     }

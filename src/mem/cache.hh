@@ -15,13 +15,25 @@
  *    (every real configuration) instead of an integer division;
  *  - an MRU fast path short-circuits the way scan when the probed
  *    block is the one touched last (tags embed the set bits, so a
- *    single compare suffices);
- *  - ways are packed to 16 bytes (validity lives in the LRU stamp)
- *    so a 4-way set scan touches one hardware cache line;
- *  - access()/contains() are inline so cross-TU callers pay no call.
+ *    single compare suffices) — and it is a pure read: the cache's
+ *    most recently touched way is by definition already the most
+ *    recent in its set, so no recency update is needed at all;
+ *  - a way is one 8-byte word — the block tag in the low 58 bits,
+ *    the way's recency *rank* within its set in the next 5, and a
+ *    valid bit on top — so a 4-way set is 32 bytes and the whole tag
+ *    store of a simulated machine stays close to the host's private
+ *    caches (the tag arrays are probed at random addresses, so their
+ *    footprint is what the simulator's own miss paths pay for).
  *
- * All fast paths are exact: they produce bit-identical replacement
- * state to the plain scan.
+ * Recency is kept as a per-set permutation: the valid ways of a set
+ * always carry distinct ranks 0..valid-1, oldest first. Touching a
+ * way moves it to the top rank and shifts the ways above it down by
+ * one — the relative order of all other ways is untouched, which is
+ * exactly what stamping with a fresh monotonic counter does. Every
+ * replacement decision depends only on that relative order (the LRU
+ * victim is the set's rank-0 way), so the packed layout and all fast
+ * paths are exact: they produce bit-identical replacement state to a
+ * plain stamped scan.
  */
 
 #ifndef SCHEDTASK_MEM_CACHE_HH
@@ -90,12 +102,10 @@ class Cache
     {
         // A tag is the full block address (it includes the set
         // bits), so one compare identifies the last-touched block.
-        Way &mru = ways_[mru_index_];
-        if (mru.tag == tag && mru.lru != 0) {
-            if (lru_refresh_)
-                mru.lru = ++lru_clock_;
+        // The cache's most recent way is also its set's most recent,
+        // so a hit here needs no recency update whatsoever.
+        if (wayHits(ways_[mru_index_], tag))
             return true;
-        }
         return accessSlow(tag);
     }
 
@@ -126,8 +136,7 @@ class Cache
     bool
     containsTag(Addr tag) const
     {
-        const Way &mru = ways_[mru_index_];
-        if (mru.tag == tag && mru.lru != 0)
+        if (wayHits(ways_[mru_index_], tag))
             return true;
         return containsSlow(tag);
     }
@@ -140,8 +149,17 @@ class Cache
         const Addr tag = tagOf(addr);
         Way *base = &ways_[setIndexOfTag(tag) * params_.assoc];
         for (unsigned w = 0; w < params_.assoc; ++w) {
-            if (base[w].tag == tag && base[w].lru != 0) {
-                base[w].lru = 0;
+            if (wayHits(base[w], tag)) {
+                // Drop the way from its set's recency order: ways
+                // above it slide down one rank, keeping the valid
+                // ranks a dense 0..valid-1 permutation. Branchless —
+                // invalid ways are rank 0 and never test as above.
+                const std::uint64_t rank = rankOf(base[w]);
+                for (unsigned v = 0; v < params_.assoc; ++v)
+                    base[v].raw -=
+                        std::uint64_t{rankOf(base[v]) > rank}
+                        << rankShift;
+                base[w].raw &= tagMask; // clears valid and rank
                 return;
             }
         }
@@ -180,19 +198,71 @@ class Cache
     Addr tagOf(Addr addr) const { return addr >> block_shift_; }
 
   private:
+    /** Field layout of a packed way: tag [0,58), rank [58,63),
+     *  valid bit 63. 58 tag bits cover every byte address at line
+     *  grain (2^64 / 64); 5 rank bits support assoc up to 32. */
+    static constexpr unsigned rankShift = 58;
+    static constexpr unsigned validShift = 63;
+    static constexpr std::uint64_t tagMask =
+        (std::uint64_t{1} << rankShift) - 1;
+    static constexpr std::uint64_t rankOne =
+        std::uint64_t{1} << rankShift;
+    static constexpr std::uint64_t validBit =
+        std::uint64_t{1} << validShift;
+    static constexpr unsigned maxAssoc = 32;
+
     /**
-     * One way, packed to 16 bytes so a 4-way set scans in a single
-     * hardware cache line. Validity is encoded as lru != 0: every
-     * insert and every LRU refresh stamps ++lru_clock_ (>= 1), so a
-     * valid way always has a non-zero stamp, and invalidation just
-     * zeroes it (the stale tag stays but can never match a valid
-     * check).
+     * One way in 8 bytes. An invalid way keeps its stale tag (it can
+     * never match a valid check) and rank 0.
      */
     struct Way
     {
-        Addr tag = 0;
-        std::uint64_t lru = 0; // recency stamp; 0 = invalid
+        std::uint64_t raw = 0; // [valid:1][rank:5][tag:58]
     };
+
+    static bool isValid(const Way &w) { return (w.raw & validBit) != 0; }
+
+    /** Recency rank within the set: 0 = oldest valid way. */
+    static std::uint64_t
+    rankOf(const Way &w)
+    {
+        return (w.raw >> rankShift) & (maxAssoc - 1);
+    }
+
+    /** Valid-hit test: tag bits equal and valid bit set. */
+    static bool
+    wayHits(const Way &w, Addr tag)
+    {
+        // (raw ^ tag) has zero low bits iff the tags match; shifting
+        // out the rank and valid fields leaves that comparison, and
+        // the sign bit of raw is the valid bit.
+        return ((w.raw ^ tag) << (64 - rankShift)) == 0
+            && (w.raw & validBit) != 0;
+    }
+
+    /**
+     * Make way w the most recent of its set: ways ranked above it
+     * slide down one, w takes the top rank. The relative order of
+     * all other ways is untouched — exactly a fresh-stamp touch.
+     *
+     * Branchless on purpose: which ways sit above w is data-random,
+     * so a conditional store would mispredict on the hottest path in
+     * the simulator. Invalid ways always carry rank 0 (invalidate,
+     * flush and insert all clear it), so they can never test as
+     * "above" and need no validity check; neither does w itself.
+     */
+    void
+    touchWay(Way *base, unsigned w)
+    {
+        const std::uint64_t rank = rankOf(base[w]);
+        std::uint64_t above = 0;
+        for (unsigned v = 0; v < params_.assoc; ++v) {
+            const std::uint64_t is_above = rankOf(base[v]) > rank;
+            base[v].raw -= is_above << rankShift;
+            above += is_above;
+        }
+        base[w].raw += above << rankShift;
+    }
 
     std::uint64_t
     setIndexOfTag(Addr tag) const
@@ -204,7 +274,7 @@ class Cache
 
     /** Full way scan behind the MRU fast path of accessTag().
      *  Inline: the scan is the common path for L1 misses and
-     *  non-MRU hits, and a 4-way packed set is one cache line. */
+     *  non-MRU hits, and a 4-way packed set is half a cache line. */
     bool
     accessSlow(Addr tag)
     {
@@ -212,10 +282,10 @@ class Cache
             setIndexOfTag(tag) * params_.assoc;
         Way *base = &ways_[base_index];
         for (unsigned w = 0; w < params_.assoc; ++w) {
-            if (base[w].tag == tag && base[w].lru != 0) {
-                // Fifo keeps the insertion stamp; Lru refreshes it.
+            if (wayHits(base[w], tag)) {
+                // Fifo keeps the insertion order; Lru refreshes it.
                 if (lru_refresh_)
-                    base[w].lru = ++lru_clock_;
+                    touchWay(base, w);
                 mru_index_ = base_index + w;
                 return true;
             }
@@ -230,9 +300,8 @@ class Cache
     std::uint64_t num_sets_;
     std::uint64_t set_mask_; // num_sets_ - 1 when a power of two, else 0
     unsigned block_shift_;
-    bool lru_refresh_; // replacement == Lru: hits refresh the stamp
+    bool lru_refresh_; // replacement == Lru: hits refresh the rank
     std::uint64_t mru_index_ = 0; // way of the last hit or insert
-    std::uint64_t lru_clock_ = 0;
     std::uint32_t lfsr_ = 0xace1u; // Random replacement state
     std::vector<Way> ways_; // num_sets_ * assoc, row-major
 };

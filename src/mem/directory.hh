@@ -16,7 +16,6 @@
 #define SCHEDTASK_MEM_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -35,6 +34,15 @@ struct DirectoryOutcome
 
 /**
  * Full-map coherence directory (up to 64 cores).
+ *
+ * Stored as a flat open-addressing hash table (linear probing,
+ * fibonacci hashing, backward-shift deletion) because the directory
+ * sits on the data hot path: one multiply+mask lands on the slot and
+ * the common probe touches a single cache line, where the previous
+ * std::unordered_map paid a prime modulo plus a node pointer chase
+ * per consult. Probe order is never observable — the directory
+ * exposes only per-line lookups and a size — so the layout cannot
+ * perturb simulated results.
  *
  * The Machine is responsible for actually invalidating the private
  * caches named in the returned mask.
@@ -64,49 +72,80 @@ class CoherenceDirectory
     void onEvict(CoreId core, Addr line_addr);
 
     /** Number of tracked lines (for tests and memory accounting). */
-    std::size_t trackedLines() const { return entries_.size(); }
+    std::size_t trackedLines() const { return size_; }
 
     /** Core count the directory was built for. */
     unsigned numCores() const { return num_cores_; }
 
   private:
-    struct Entry
-    {
-        std::uint64_t sharers = 0;
-        CoreId dirtyOwner = invalidCore;
-    };
+    /** Owner field position inside Slot::meta. */
+    static constexpr unsigned ownerShift = 56;
+    /** Line-address part of Slot::meta (low 56 bits). */
+    static constexpr std::uint64_t lineMask =
+        (std::uint64_t{1} << ownerShift) - 1;
+    /** Owner byte meaning "no dirty owner". */
+    static constexpr std::uint64_t noOwner = 0xFF;
 
     /**
-     * Direct-mapped pointer memo in front of the hash map. The hash
-     * map's prime-modulo lookup dominates the directory's cost on
-     * the data hot path; hot lines (stacks, request structs, shared
-     * tables) instead hit this table with a mask index and one
-     * compare. Node addresses in an unordered_map are stable across
-     * rehashing, so a cached pointer stays valid until its line is
-     * erased — onEvict() purges the (unique) slot that can
-     * reference an erased entry. entry == nullptr means empty; a
-     * slot never caches a negative lookup.
+     * One tracked line, packed to 16 bytes so two slots share a host
+     * cache line: the line's byte address lives in the low 56 bits
+     * of meta (line addresses are 64-byte aligned and far below
+     * 2^56, asserted on insert) and the dirty-owner core in the top
+     * byte (0xFF = none; the directory supports at most 64 cores).
+     *
+     * A slot with no sharers and no dirty owner is empty by
+     * construction: every mutation that reaches that state erases
+     * the slot, so emptiness needs no separate flag and the line
+     * field of an empty slot is meaningless.
      */
-    struct MemoSlot
+    struct Slot
     {
-        Addr line = 0;
-        Entry *entry = nullptr;
+        std::uint64_t sharers = 0;
+        std::uint64_t meta = noOwner << ownerShift;
     };
 
-    static constexpr std::size_t memoSlots = 8192; // power of two
+    static Addr slotLine(const Slot &s) { return s.meta & lineMask; }
 
-    MemoSlot &
-    memoSlotFor(Addr line_addr)
+    /** Dirty-owner byte (noOwner when the line is not dirty). */
+    static std::uint64_t slotOwner(const Slot &s)
     {
-        return memo_[(line_addr / lineBytes) & (memoSlots - 1)];
+        return s.meta >> ownerShift;
     }
 
-    /** Hash lookup of a line's entry, memoized via memoSlotFor(). */
-    Entry &entryOf(Addr line_addr);
+    static void
+    setOwner(Slot &s, std::uint64_t owner)
+    {
+        s.meta = (s.meta & lineMask) | (owner << ownerShift);
+    }
+
+    static bool
+    slotEmpty(const Slot &s)
+    {
+        return s.sharers == 0 && slotOwner(s) == noOwner;
+    }
+
+    /** Home slot of a line (fibonacci hash of the byte address). */
+    std::size_t
+    homeOf(Addr line_addr) const
+    {
+        return static_cast<std::size_t>(
+                   (line_addr * 0x9E3779B97F4A7C15ull) >> 32)
+            & mask_;
+    }
+
+    /** Find line_addr's slot, inserting an empty one if absent. */
+    Slot &findOrInsert(Addr line_addr);
+
+    /** Erase the slot at index i (backward-shift deletion). */
+    void eraseAt(std::size_t i);
+
+    /** Double the table and rehash every occupied slot. */
+    void grow();
 
     unsigned num_cores_;
-    std::unordered_map<Addr, Entry> entries_;
-    std::vector<MemoSlot> memo_ = std::vector<MemoSlot>(memoSlots);
+    std::size_t size_ = 0;
+    std::size_t mask_;
+    std::vector<Slot> slots_;
 };
 
 } // namespace schedtask

@@ -133,6 +133,20 @@ MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
     AccessCounts &counts = d_counts_[static_cast<unsigned>(cls)];
     ++counts.accesses;
 
+    // Read of a locally cached line: the directory consult is a
+    // provable no-op, so skip it. The invariant is that a line in
+    // this core's L1D always has this core's sharer bit set and no
+    // remote dirty owner — every path that removes the line from the
+    // L1D (capacity eviction -> onEvict, remote write ->
+    // invalidateMask) also updates the directory, and a remote write
+    // that installs a dirty owner always invalidates our copy first.
+    // onRead would therefore find the bit already set, report no
+    // remote-dirty fill, and never produce an invalidate mask.
+    if (!is_write && l1d_[core]->accessTag(line_tag)) {
+        ++counts.hits;
+        return stall;
+    }
+
     const DirectoryOutcome outcome = is_write
         ? directory_.onWrite(core, line)
         : directory_.onRead(core, line);
@@ -150,8 +164,9 @@ MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
         }
     }
 
-    const bool local_hit =
-        l1d_[core]->accessTag(line_tag) && !outcome.remoteDirtyFill;
+    const bool local_hit = !is_write
+        ? false // read path already probed above and missed
+        : l1d_[core]->accessTag(line_tag) && !outcome.remoteDirtyFill;
 
     if (local_hit) {
         ++counts.hits;

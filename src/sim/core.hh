@@ -10,6 +10,15 @@
  * every SuperFunction boundary, maintains the per-core Page-heatmap
  * register, enforces the timeslice on application SuperFunctions,
  * and performs the mid-SuperFunction placement checks SLICC uses.
+ *
+ * The per-block state is split structure-of-arrays style: everything
+ * the executeCurrent inner loop reads or writes lives in a compact
+ * Core::HotState that the Machine packs contiguously for all cores,
+ * while configuration, queues and stats brackets stay in the Core
+ * object itself. The inner loop also runs in *segments*: boundary
+ * conditions (block point, budget, timeslice, mid-SF placement) are
+ * converted to a block count up front, so the per-block work is just
+ * the fetch, the data accesses and the clock charge.
  */
 
 #ifndef SCHEDTASK_SIM_CORE_HH
@@ -37,7 +46,62 @@ class Machine;
 class Core
 {
   public:
-    Core(CoreId id, Machine &machine, unsigned heatmap_bits, Rng rng);
+    /** Recently touched data lines: temporal bursts (stack slots,
+     *  struct fields) re-access the same lines. */
+    static constexpr unsigned recentDataSize = 16;
+    static constexpr double recentReuseProb = 0.6;
+
+    /** Hot-subset locality of data regions (see pickDataAddr). */
+    static constexpr double hotSubsetProb = 0.9;
+    static constexpr std::uint64_t hotBytesCap = 12 * 1024;
+
+    /**
+     * One data region the running SuperFunction may access, with the
+     * address math of pickDataAddr pre-resolved to line counts.
+     * fullLines == 0 marks an absent region; hotLines != 0 marks a
+     * region larger than the hot-subset cap, where most accesses
+     * draw from the first hotLines lines only.
+     */
+    struct DataRegion
+    {
+        Addr base = 0;
+        std::uint64_t fullLines = 0;
+        std::uint64_t hotLines = 0;
+    };
+
+    /**
+     * State touched on every fetch block, split from the cold Core
+     * fields (config, IRQ queue, stats brackets) so the inner loop's
+     * working set is one compact block. The Machine owns one
+     * contiguous array of these for all cores (SoA packing).
+     *
+     * The data-region spec (regions/sharedProb/drawRegion/primary)
+     * is recomputed by beginSlice: it depends only on the running
+     * SuperFunction's type info and thread, both fixed for the
+     * lifetime of a dispatch.
+     */
+    struct HotState
+    {
+        Cycles clock = 0;
+        SuperFunction *current = nullptr;
+        Rng rng;
+        std::uint64_t sliceInsts = 0;
+        Cycles sliceStart = 0;
+        unsigned blocksSinceCheck = 0;
+        unsigned recentCount = 0;
+        unsigned recentPos = 0;
+        /** regions[0] = shared, regions[1] = private. */
+        DataRegion regions[2];
+        double sharedProb = 0.0;
+        /** Both regions present: draw chance(sharedProb) per access. */
+        bool drawRegion = false;
+        /** Region index used when no draw is needed. */
+        unsigned primary = 1;
+        Addr recentData[recentDataSize] = {};
+    };
+
+    Core(CoreId id, Machine &machine, unsigned heatmap_bits,
+         HotState &hot, Rng rng);
 
     /**
      * Advance the local clock toward `limit`, executing work.
@@ -54,7 +118,7 @@ class Core
     void deliverIrq(const PendingIrq &irq);
 
     /** Local clock (synchronized to quantum ends by the Machine). */
-    Cycles clock() const { return clock_; }
+    Cycles clock() const { return hot_.clock; }
 
     /** Force the local clock forward (Machine quantum sync). */
     void syncClock(Cycles to);
@@ -62,13 +126,13 @@ class Core
     CoreId id() const { return id_; }
 
     /** The SuperFunction currently executing, if any. */
-    const SuperFunction *current() const { return current_; }
+    const SuperFunction *current() const { return hot_.current; }
 
     /** True when nothing is running and nothing is pending. */
     bool
     isIdle() const
     {
-        return current_ == nullptr && pending_irqs_.empty();
+        return hot_.current == nullptr && pending_irqs_.empty();
     }
 
     /** Per-core Page-heatmap register (Section 3.2 hardware). */
@@ -89,7 +153,7 @@ class Core
     /** Execute the current SuperFunction until a boundary or limit. */
     void executeCurrent(Cycles limit);
 
-    /** Begin an execution slice (stats bracket). */
+    /** Begin an execution slice (stats bracket + data-region spec). */
     void beginSlice(SuperFunction *sf);
 
     /** End the current execution slice (stats bracket). */
@@ -99,7 +163,7 @@ class Core
     void chargeOverhead(SchedEvent event, const SuperFunction *sf);
 
     /** Pick a data address for the running SuperFunction. */
-    Addr pickDataAddr(const SuperFunction *sf);
+    Addr pickDataAddr();
 
     /**
      * Apply this core's execution-cost multiplier (big.LITTLE).
@@ -116,27 +180,15 @@ class Core
                                    0.5);
     }
 
+    HotState &hot_;
     CoreId id_;
     Machine &m_;
-    Cycles clock_ = 0;
     /** Execution-cost multiplier (1.0 = big core). */
     double cost_factor_ = 1.0;
-    /** Recently touched data lines: temporal bursts (stack slots,
-     *  struct fields) re-access the same lines. */
-    static constexpr unsigned recentDataSize = 16;
-    static constexpr double recentReuseProb = 0.6;
-    Addr recent_data_[recentDataSize] = {};
-    unsigned recent_count_ = 0;
-    unsigned recent_pos_ = 0;
-    SuperFunction *current_ = nullptr;
     std::vector<SuperFunction *> paused_;
     std::deque<PendingIrq> pending_irqs_;
     PageHeatmap heatmap_;
-    Rng rng_;
     FootprintWalker overhead_walker_;
-    Cycles slice_start_ = 0;
-    std::uint64_t slice_insts_ = 0;
-    unsigned blocks_since_check_ = 0;
 };
 
 } // namespace schedtask

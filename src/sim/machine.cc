@@ -39,10 +39,13 @@ Machine::Machine(const MachineParams &params, const HierarchyParams &hier,
     heatmaps_enabled_ = scheduler_->wantsHeatmap();
     scheduler_->attach(*this);
 
+    // Hot state is packed once up front; Cores keep references into
+    // the array, so it must never reallocate after this point.
+    core_hot_.resize(params_.numCores);
     cores_.reserve(params_.numCores);
     for (unsigned c = 0; c < params_.numCores; ++c) {
         cores_.push_back(std::make_unique<Core>(
-            c, *this, params_.heatmapBits, rng_.split()));
+            c, *this, params_.heatmapBits, core_hot_[c], rng_.split()));
     }
 
     metrics_.appEventsByPart.assign(num_parts_, 0);
@@ -68,6 +71,7 @@ Machine::Machine(const MachineParams &params, const HierarchyParams &hier,
         threads_.push_back(std::move(thread));
         ++tid;
     }
+    thread_insts_.assign(threads_.size(), 0);
     for (auto &thread : threads_)
         scheduler_->onSfStart(&thread->appSf());
 
@@ -208,8 +212,7 @@ Machine::resetStats()
     metrics_.perCoreIdleCycles.assign(params_.numCores, 0);
     epoch_insts_.clear();
     hierarchy_->resetStats();
-    for (auto &thread : threads_)
-        thread->instsRetired = 0;
+    std::fill(thread_insts_.begin(), thread_insts_.end(), 0);
     if (epoch_trace_) {
         epoch_trace_->clear();
         epoch_core_acc_.assign(params_.numCores, EpochCoreSample{});
@@ -335,7 +338,7 @@ Machine::metricsSnapshot() const
     SimMetrics snap = metrics_;
     snap.perThreadInsts.reserve(threads_.size());
     for (const auto &thread : threads_)
-        snap.perThreadInsts.push_back(thread->instsRetired);
+        snap.perThreadInsts.push_back(thread_insts_[thread->id()]);
     if (epoch_trace_)
         snap.epochSamples = epoch_trace_->samples();
     return snap;
@@ -371,7 +374,7 @@ Machine::recordInsts(SuperFunction *sf, std::uint64_t insts)
     if (sf->partIndex < metrics_.instsByPart.size())
         metrics_.instsByPart[sf->partIndex] += insts;
     if (sf->thread != nullptr)
-        sf->thread->instsRetired += insts;
+        thread_insts_[sf->thread->id()] += insts;
     if (params_.recordEpochBreakups)
         epoch_insts_[sf->type.raw()] += insts;
     if (epoch_trace_ && sf->coreId < epoch_core_acc_.size()) {
@@ -587,8 +590,7 @@ Machine::allocSf()
         sf_free_.pop_back();
         return sf;
     }
-    sf_pool_.push_back(std::make_unique<SuperFunction>());
-    return sf_pool_.back().get();
+    return sf_arena_.alloc();
 }
 
 void

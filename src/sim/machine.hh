@@ -34,6 +34,7 @@
 #include "stats/epoch_trace.hh"
 #include "stats/stat_set.hh"
 #include "workload/benchmarks.hh"
+#include "workload/sf_arena.hh"
 #include "workload/workload.hh"
 
 namespace schedtask
@@ -254,10 +255,7 @@ class Machine
     }
 
     /** All handler SuperFunctions ever allocated (diagnostics). */
-    const std::vector<std::unique_ptr<SuperFunction>> &sfPool() const
-    {
-        return sf_pool_;
-    }
+    const SfArena &sfPool() const { return sf_arena_; }
 
     /** Attach (or detach with nullptr) a SuperFunction tracer. */
     void attachTracer(SfTracer *tracer) { tracer_ = tracer; }
@@ -319,10 +317,21 @@ class Machine
     /** First LITTLE core id; numCores when all cores are big. */
     CoreId little_base_ = 0;
 
+    /** Hot per-core state, packed contiguously (SoA split; see
+     *  Core::HotState). Sized once in the constructor and never
+     *  resized: each Core holds a reference into it. Declared before
+     *  cores_ so it outlives them. */
+    std::vector<Core::HotState> core_hot_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<Thread>> threads_;
+    /** Retired instructions per thread (measured window), indexed by
+     *  ThreadId: the one per-thread counter the instruction-retire
+     *  path touches, kept in a flat array instead of the Thread. */
+    std::vector<std::uint64_t> thread_insts_;
 
-    std::vector<std::unique_ptr<SuperFunction>> sf_pool_;
+    /** Arena behind allocSf(); the free list recycles slots so the
+     *  steady state allocates nothing. */
+    SfArena sf_arena_;
     std::vector<SuperFunction *> sf_free_;
 
     Cycles now_ = 0;

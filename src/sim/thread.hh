@@ -59,10 +59,6 @@ class Thread
     /** Thread-local deterministic RNG. */
     Rng &rng() { return rng_; }
 
-    /** Retired instructions attributed to this thread (measured
-     *  window only; reset by Machine::resetStats). */
-    std::uint64_t instsRetired = 0;
-
     /** Core this thread last executed on (migration detection). */
     CoreId lastCore = invalidCore;
 

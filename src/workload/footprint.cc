@@ -85,50 +85,4 @@ FootprintWalker::reset(const Footprint *footprint, double jump_prob,
     excursion_left_ = 0;
 }
 
-Addr
-FootprintWalker::nextLine(Rng &rng)
-{
-    SCHEDTASK_ASSERT(footprint_ != nullptr, "walker not reset");
-    const std::uint64_t size = footprint_->size();
-
-    // Tight loop: re-fetch the previous line without advancing.
-    if (excursion_left_ == 0 && rng.chance(repeatProb))
-        return footprint_->lines()[prev_cursor_];
-
-    const Addr line = footprint_->lines()[cursor_];
-    prev_cursor_ = cursor_;
-
-    if (excursion_left_ > 0) {
-        // Inside a cold-path excursion: run it sequentially, then
-        // return to the saved position.
-        if (--excursion_left_ == 0) {
-            cursor_ = return_cursor_;
-        } else {
-            cursor_ = (cursor_ + 1) % size;
-        }
-        return line;
-    }
-
-    if (far_jump_prob_ > 0.0 && rng.chance(far_jump_prob_)) {
-        return_cursor_ = cursor_;
-        cursor_ = rng.below(size);
-        excursion_left_ = static_cast<std::uint32_t>(
-            rng.geometric(excursionMeanBlocks));
-    } else if (jump_prob_ > 0.0 && rng.chance(jump_prob_)) {
-        // Local branch: short hop, backward-biased (loops re-enter
-        // recently executed code more often than they skip ahead).
-        const std::uint64_t dist = rng.geometric(localJumpMeanLines);
-        if (rng.chance(0.4)) {
-            cursor_ = (cursor_ + dist) % size;
-        } else {
-            cursor_ = (cursor_ + size - dist % size) % size;
-        }
-    } else {
-        ++cursor_;
-        if (cursor_ >= size)
-            cursor_ = 0;
-    }
-    return line;
-}
-
 } // namespace schedtask

@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "workload/region_map.hh"
@@ -123,8 +124,60 @@ class FootprintWalker
                std::uint64_t start_index = 0,
                double far_jump_prob = defaultFarJumpProb);
 
-    /** Address of the next fetch block. */
-    Addr nextLine(Rng &rng);
+    /**
+     * Address of the next fetch block.
+     *
+     * Inline: called once per simulated fetch block from the core's
+     * inner loop; the common paths (tight loop, sequential advance)
+     * are a couple of RNG draws and an array load.
+     */
+    Addr
+    nextLine(Rng &rng)
+    {
+        SCHEDTASK_ASSERT(footprint_ != nullptr,
+                         "walker not reset before nextLine()");
+        const std::uint64_t size = footprint_->size();
+
+        // Tight loop: re-fetch the previous line without advancing.
+        if (excursion_left_ == 0 && rng.chance(repeatProb))
+            return footprint_->lines()[prev_cursor_];
+
+        const Addr line = footprint_->lines()[cursor_];
+        prev_cursor_ = cursor_;
+
+        if (excursion_left_ > 0) {
+            // Inside a cold-path excursion: run it sequentially,
+            // then return to the saved position.
+            if (--excursion_left_ == 0) {
+                cursor_ = return_cursor_;
+            } else {
+                cursor_ = (cursor_ + 1) % size;
+            }
+            return line;
+        }
+
+        if (far_jump_prob_ > 0.0 && rng.chance(far_jump_prob_)) {
+            return_cursor_ = cursor_;
+            cursor_ = rng.below(size);
+            excursion_left_ = static_cast<std::uint32_t>(
+                rng.geometric(excursionMeanBlocks));
+        } else if (jump_prob_ > 0.0 && rng.chance(jump_prob_)) {
+            // Local branch: short hop, backward-biased (loops
+            // re-enter recently executed code more often than they
+            // skip ahead).
+            const std::uint64_t dist = rng.geometric(localJumpMeanLines);
+            if (rng.chance(0.4)) {
+                cursor_ = (cursor_ + dist) % size;
+            } else {
+                cursor_ = (cursor_ + size - dist % size) % size;
+            }
+        } else {
+            ++cursor_;
+            if (cursor_ >= size)
+                cursor_ = 0;
+        }
+        return line;
+    }
 
     /** Move the cursor back to the footprint's entry point (a task
      *  loop restarting its body). */

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bump-pointer arena for SuperFunction instances.
+ *
+ * Handler SuperFunctions churn constantly (every syscall, interrupt
+ * and bottom half allocates one), and the previous pool held each
+ * one behind its own heap allocation — a pointer chase per access
+ * and scattered host cache lines. The arena hands out slots from
+ * fixed-size chunks instead: allocation is a bump of a counter,
+ * chunks never move (handed-out pointers stay valid for the arena's
+ * lifetime), and consecutive allocations are adjacent in memory.
+ *
+ * The arena itself never frees individual slots. The Machine layers
+ * its existing free list on top: a recycled SuperFunction goes back
+ * to the free list and is handed out again before the bump pointer
+ * advances, so steady-state simulation allocates nothing at all.
+ */
+
+#ifndef SCHEDTASK_WORKLOAD_SF_ARENA_HH
+#define SCHEDTASK_WORKLOAD_SF_ARENA_HH
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/super_function.hh"
+
+namespace schedtask
+{
+
+/**
+ * Chunked bump allocator owning every handler SuperFunction of one
+ * Machine. Iterable over all slots ever handed out, in allocation
+ * order (recycled slots included — they are reused in place, exactly
+ * as the previous unique_ptr pool behaved).
+ */
+class SfArena
+{
+  public:
+    /** SuperFunctions per chunk. */
+    static constexpr std::size_t chunkSfCount = 64;
+
+    /** Hand out the next slot (never reuses; see class comment). */
+    SuperFunction *
+    alloc()
+    {
+        if (used_ == chunks_.size() * chunkSfCount)
+            chunks_.push_back(std::make_unique<Chunk>());
+        SuperFunction *sf =
+            &(*chunks_[used_ / chunkSfCount])[used_ % chunkSfCount];
+        ++used_;
+        return sf;
+    }
+
+    /** Number of slots handed out so far. */
+    std::size_t size() const { return used_; }
+
+    /** Forward iteration over handed-out slots, oldest first. */
+    class const_iterator
+    {
+      public:
+        const_iterator(const SfArena *arena, std::size_t index)
+            : arena_(arena), index_(index)
+        {
+        }
+
+        const SuperFunction *
+        operator*() const
+        {
+            return &(*arena_->chunks_[index_ / chunkSfCount])
+                [index_ % chunkSfCount];
+        }
+
+        const_iterator &
+        operator++()
+        {
+            ++index_;
+            return *this;
+        }
+
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return index_ != o.index_;
+        }
+
+      private:
+        const SfArena *arena_;
+        std::size_t index_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, used_}; }
+
+  private:
+    using Chunk = std::array<SuperFunction, chunkSfCount>;
+
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::size_t used_ = 0;
+};
+
+} // namespace schedtask
+
+#endif // SCHEDTASK_WORKLOAD_SF_ARENA_HH

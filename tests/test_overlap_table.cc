@@ -92,6 +92,36 @@ TEST(OverlapTable, OverlapBetweenSymmetry)
     EXPECT_GT(table.overlapBetween(r, w), 0u);
 }
 
+TEST(OverlapTable, OverlapBetweenMatchesPeerLists)
+{
+    // overlapBetween() answers from a hash index; it must agree
+    // with the sorted peer lists entry for entry, and return 0 for
+    // pairs the build never tabulates (app vs OS).
+    SfCatalog cat;
+    const SfTypeInfo &app = cat.addApplication("appY", 64 * 1024);
+    StatsTable stats = catalogStats(
+        cat, {"sys_read", "sys_pread", "sys_fork", "sys_recv"});
+    PageHeatmap hm(512);
+    for (Addr line : app.code.lines())
+        hm.insertAddr(line);
+    stats.record(app.type, &app, 1000, 1000, hm);
+
+    const OverlapTable table = OverlapTable::fromHeatmaps(stats);
+    const SfType types[] = {cat.byName("sys_read").type,
+                            cat.byName("sys_pread").type,
+                            cat.byName("sys_fork").type,
+                            cat.byName("sys_recv").type};
+    for (SfType a : types) {
+        for (const OverlapPeer &peer : table.peersOf(a))
+            EXPECT_EQ(table.overlapBetween(a, peer.type),
+                      peer.overlap);
+        EXPECT_EQ(table.overlapBetween(a, app.type), 0u);
+        EXPECT_EQ(table.overlapBetween(app.type, a), 0u);
+        // A type is never its own peer.
+        EXPECT_EQ(table.overlapBetween(a, a), 0u);
+    }
+}
+
 TEST(OverlapTable, UnknownTypeHasEmptyPeers)
 {
     OverlapTable table;

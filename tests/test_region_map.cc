@@ -63,8 +63,14 @@ TEST(RegionMap, ReferencesSurviveLaterAllocations)
     // Enough growth to force any geometric reallocation scheme;
     // allocate() promises reference stability (callers hold onto
     // regions while composing footprints).
-    for (int i = 0; i < 200; ++i)
-        map.allocate("r" + std::to_string(i), pageBytes);
+    for (int i = 0; i < 200; ++i) {
+        // Built without operator+("r", std::string&&): GCC 12's
+        // -Wrestrict false-positives on that inlined insert at -O3
+        // (PR105329) and the -Werror presets would refuse it.
+        std::string name = "r";
+        name += std::to_string(i);
+        map.allocate(name, pageBytes);
+    }
     EXPECT_EQ(first.base, base);
     EXPECT_EQ(first.name, "first");
     EXPECT_EQ(first.bytes, pageBytes);

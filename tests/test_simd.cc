@@ -1,0 +1,221 @@
+/**
+ * @file
+ * SIMD-vs-scalar equivalence for the heatmap word kernels.
+ *
+ * Every kernel implementation must be bit-identical to the scalar
+ * reference — that is what lets the simulator keep its bit-exactness
+ * guarantee while dispatching to AVX2/AVX-512 at runtime. The tests
+ * sweep every supported heatmap width (64..65536 bits, i.e. word
+ * counts that exercise both the full-vector strides and the scalar
+ * tails) with randomized contents, for every ISA level the host
+ * supports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "common/simd.hh"
+#include "core/page_heatmap.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+/** All supported heatmap widths, in words (64 bits each). */
+std::vector<std::size_t>
+wordCounts()
+{
+    std::vector<std::size_t> counts;
+    for (unsigned bits = 64; bits <= 65536; bits *= 2)
+        counts.push_back(bits / 64);
+    return counts;
+}
+
+std::vector<std::uint64_t>
+randomWords(Rng &rng, std::size_t n, bool sparse)
+{
+    std::vector<std::uint64_t> words(n);
+    for (auto &w : words)
+        w = sparse ? (std::uint64_t{1} << rng.below(64)) : rng();
+    return words;
+}
+
+/** Host-supported ISA levels, scalar first. */
+std::vector<simd::IsaLevel>
+supportedLevels()
+{
+    std::vector<simd::IsaLevel> levels{simd::IsaLevel::Scalar};
+    if (simd::supported(simd::IsaLevel::Avx2))
+        levels.push_back(simd::IsaLevel::Avx2);
+    if (simd::supported(simd::IsaLevel::Avx512))
+        levels.push_back(simd::IsaLevel::Avx512);
+    return levels;
+}
+
+} // namespace
+
+TEST(Simd, ScalarAlwaysSupported)
+{
+    EXPECT_TRUE(simd::supported(simd::IsaLevel::Scalar));
+    // "auto" resolves to a level the host can actually run.
+    EXPECT_TRUE(simd::supported(simd::bestSupported()));
+}
+
+TEST(Simd, ParseLevel)
+{
+    EXPECT_EQ(simd::parseLevel("scalar"), simd::IsaLevel::Scalar);
+    EXPECT_EQ(simd::parseLevel("avx2"), simd::IsaLevel::Avx2);
+    EXPECT_EQ(simd::parseLevel("avx512"), simd::IsaLevel::Avx512);
+    EXPECT_EQ(simd::parseLevel("auto"), simd::bestSupported());
+    EXPECT_FALSE(simd::parseLevel("").has_value());
+    EXPECT_FALSE(simd::parseLevel("AVX2").has_value());
+    EXPECT_FALSE(simd::parseLevel("sse9").has_value());
+}
+
+TEST(Simd, LevelNames)
+{
+    EXPECT_STREQ(simd::levelName(simd::IsaLevel::Scalar), "scalar");
+    EXPECT_STREQ(simd::levelName(simd::IsaLevel::Avx2), "avx2");
+    EXPECT_STREQ(simd::levelName(simd::IsaLevel::Avx512), "avx512");
+}
+
+TEST(Simd, SelectRejectsNothingSupported)
+{
+    // select() must refuse nothing the host supports and leave the
+    // active level unchanged on a refused request.
+    const simd::IsaLevel before = simd::activeLevel();
+    for (simd::IsaLevel level : supportedLevels())
+        EXPECT_TRUE(simd::select(level));
+    ASSERT_TRUE(simd::select(before));
+    EXPECT_EQ(simd::activeLevel(), before);
+}
+
+TEST(Simd, OrWordsMatchesScalarAtEveryWidth)
+{
+    Rng rng(101);
+    const simd::Kernels &ref =
+        simd::kernelsFor(simd::IsaLevel::Scalar);
+    for (std::size_t n : wordCounts()) {
+        for (int round = 0; round < 16; ++round) {
+            const auto dst0 = randomWords(rng, n, round % 2 == 0);
+            const auto src = randomWords(rng, n, round % 3 == 0);
+            auto expect = dst0;
+            ref.orWords(expect.data(), src.data(), n);
+            for (simd::IsaLevel level : supportedLevels()) {
+                auto dst = dst0;
+                simd::kernelsFor(level).orWords(dst.data(),
+                                                src.data(), n);
+                ASSERT_EQ(dst, expect)
+                    << "orWords level "
+                    << simd::levelName(level) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Simd, AndPopcountMatchesScalarAtEveryWidth)
+{
+    Rng rng(202);
+    const simd::Kernels &ref =
+        simd::kernelsFor(simd::IsaLevel::Scalar);
+    for (std::size_t n : wordCounts()) {
+        for (int round = 0; round < 16; ++round) {
+            const auto a = randomWords(rng, n, round % 2 == 0);
+            const auto b = randomWords(rng, n, round % 3 == 0);
+            const std::uint64_t expect =
+                ref.andPopcount(a.data(), b.data(), n);
+            for (simd::IsaLevel level : supportedLevels()) {
+                ASSERT_EQ(simd::kernelsFor(level).andPopcount(
+                              a.data(), b.data(), n),
+                          expect)
+                    << "andPopcount level "
+                    << simd::levelName(level) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Simd, PopcountMatchesScalarAtEveryWidth)
+{
+    Rng rng(303);
+    const simd::Kernels &ref =
+        simd::kernelsFor(simd::IsaLevel::Scalar);
+    for (std::size_t n : wordCounts()) {
+        for (int round = 0; round < 16; ++round) {
+            const auto w = randomWords(rng, n, round % 2 == 0);
+            const std::uint64_t expect =
+                ref.popcount(w.data(), n);
+            for (simd::IsaLevel level : supportedLevels()) {
+                ASSERT_EQ(
+                    simd::kernelsFor(level).popcount(w.data(), n),
+                    expect)
+                    << "popcount level "
+                    << simd::levelName(level) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Simd, ClearZeroesEveryWidth)
+{
+    Rng rng(404);
+    for (std::size_t n : wordCounts()) {
+        for (simd::IsaLevel level : supportedLevels()) {
+            auto w = randomWords(rng, n, false);
+            simd::kernelsFor(level).clear(w.data(), n);
+            for (std::uint64_t word : w)
+                ASSERT_EQ(word, 0u)
+                    << "clear level " << simd::levelName(level)
+                    << " n=" << n;
+        }
+    }
+}
+
+TEST(Simd, EdgeWeights)
+{
+    // All-zero and all-one inputs at the extreme widths.
+    for (std::size_t n : {std::size_t{1}, std::size_t{1024}}) {
+        const std::vector<std::uint64_t> zero(n, 0);
+        const std::vector<std::uint64_t> ones(n, ~std::uint64_t{0});
+        for (simd::IsaLevel level : supportedLevels()) {
+            const simd::Kernels &k = simd::kernelsFor(level);
+            EXPECT_EQ(k.popcount(zero.data(), n), 0u);
+            EXPECT_EQ(k.popcount(ones.data(), n), 64 * n);
+            EXPECT_EQ(k.andPopcount(zero.data(), ones.data(), n), 0u);
+            EXPECT_EQ(k.andPopcount(ones.data(), ones.data(), n),
+                      64 * n);
+        }
+    }
+}
+
+TEST(Simd, HeatmapResultsAgreeAcrossDispatch)
+{
+    // End-to-end through the PageHeatmap API: the same insert
+    // stream must yield identical overlap/popcount at every level.
+    const simd::IsaLevel before = simd::activeLevel();
+    for (unsigned bits = 64; bits <= 65536; bits *= 2) {
+        std::vector<unsigned> overlaps, weights;
+        for (simd::IsaLevel level : supportedLevels()) {
+            ASSERT_TRUE(simd::select(level));
+            PageHeatmap a(bits), b(bits);
+            Rng rng(bits); // same stream for every level
+            for (int i = 0; i < 400; ++i) {
+                a.insertPfn(rng.below(1 << 20));
+                b.insertPfn(rng.below(1 << 20));
+            }
+            a.orWith(b);
+            overlaps.push_back(a.overlap(b));
+            weights.push_back(a.popcount());
+            a.clear();
+            ASSERT_TRUE(a.empty());
+        }
+        for (std::size_t i = 1; i < overlaps.size(); ++i) {
+            EXPECT_EQ(overlaps[i], overlaps[0]) << "bits=" << bits;
+            EXPECT_EQ(weights[i], weights[0]) << "bits=" << bits;
+        }
+    }
+    ASSERT_TRUE(simd::select(before));
+}

@@ -75,12 +75,24 @@ if has_preset default && has_preset checked; then
         >"$tmp/checked.out"
     diff -u "$tmp/default.out" "$tmp/checked.out"
     diff -r "$tmp/default" "$tmp/checked"
-    echo "report and traces bitwise identical"
+    # The scalar kernels must be bit-identical to the dispatched
+    # vector path — the SIMD layer's core guarantee.
+    SCHEDTASK_SIMD=scalar SCHEDTASK_TRACE_DIR="$tmp/scalar" \
+        ./build-default/bench/fig07_app_performance --fast \
+        >"$tmp/scalar.out"
+    diff -u "$tmp/default.out" "$tmp/scalar.out"
+    diff -r "$tmp/default" "$tmp/scalar"
+    echo "report and traces bitwise identical (incl. forced scalar)"
 fi
 
 if [ "$BENCH" -eq 1 ]; then
-    step "perf gate smoke (generous threshold)"
-    PERF_GATE_THRESHOLD="${PERF_GATE_THRESHOLD:-50}" \
+    # Twice — forced scalar, then auto dispatch — so a regression in
+    # either the vector kernels or the dispatch itself cannot hide.
+    step "perf gate smoke, forced scalar (generous threshold)"
+    SCHEDTASK_SIMD=scalar PERF_GATE_THRESHOLD="${PERF_GATE_THRESHOLD:-50}" \
+        tools/perf_gate.sh
+    step "perf gate smoke, auto dispatch (generous threshold)"
+    SCHEDTASK_SIMD=auto PERF_GATE_THRESHOLD="${PERF_GATE_THRESHOLD:-50}" \
         tools/perf_gate.sh
 fi
 

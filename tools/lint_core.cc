@@ -689,6 +689,33 @@ checkReg01(const std::string &rel_path, const Scrubbed &sc,
     }
 }
 
+void
+checkSimd01(const std::string &rel_path, const std::vector<Tok> &toks,
+            std::vector<Diag> &diags)
+{
+    // src/common/simd.hh is the one sanctioned home for vector
+    // intrinsics: the scalar/SIMD bit-equivalence is only auditable
+    // (and testable, tests/test_simd.cc) while the ISA-specific
+    // surface stays in a single file.
+    if (rel_path == "src/common/simd.hh")
+        return;
+    for (const Tok &t : toks) {
+        const std::string &s = t.text;
+        const bool intrinsic = startsWith(s, "_mm_")
+            || startsWith(s, "_mm256_") || startsWith(s, "_mm512_")
+            || startsWith(s, "__m128") || startsWith(s, "__m256")
+            || startsWith(s, "__m512") || s == "immintrin"
+            || startsWith(s, "__AVX") || startsWith(s, "__SSE");
+        if (!intrinsic)
+            continue;
+        diags.push_back(Diag{
+            rel_path, t.line, "SIMD-01",
+            "vector intrinsic or ISA feature macro '" + s
+                + "' outside src/common/simd.hh; add a kernel to "
+                  "the simd layer instead"});
+    }
+}
+
 } // namespace
 
 std::vector<Diag>
@@ -704,6 +731,7 @@ lintSource(const std::string &rel_path, const std::string &content)
     checkSafe02(rel_path, sc, toks, raw);
     checkSty01(rel_path, sc, raw);
     checkReg01(rel_path, sc, toks, raw);
+    checkSimd01(rel_path, toks, raw);
 
     std::vector<Diag> diags = sc.pragmaDiags;
     for (Diag &d : raw) {

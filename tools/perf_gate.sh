@@ -4,14 +4,14 @@
 # micro_perf simulator-throughput benchmark (the fig07/fig09 fast
 # sweeps), writes the result JSON, and fails when any scenario's
 # wall time regresses more than the threshold against the committed
-# baseline (BENCH_pr5.json by default).
+# baseline (BENCH_pr7.json by default).
 #
 # Usage:
 #   tools/perf_gate.sh                      # gate against baseline
 #   tools/perf_gate.sh --update             # refresh the baseline
 #
 # Environment:
-#   PERF_GATE_BASELINE   baseline JSON (default BENCH_pr5.json)
+#   PERF_GATE_BASELINE   baseline JSON (default BENCH_pr7.json)
 #   PERF_GATE_OUT        result JSON (default <tmp>/bench.json)
 #   PERF_GATE_THRESHOLD  max wall-time regression in percent
 #                        (default 10; CI smoke uses a generous 50
@@ -24,11 +24,16 @@
 # regressions on whatever machine it runs on, so refresh the
 # baseline (--update) whenever the hardware or the workload shape
 # changes.
+#
+# The SCHEDTASK_SIMD override propagates to micro_perf, so CI runs
+# the smoke twice — forced scalar and auto dispatch — to keep a
+# dispatch regression from hiding behind the vector path (see
+# tools/check.sh --bench).
 
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
 
-BASELINE="${PERF_GATE_BASELINE:-BENCH_pr5.json}"
+BASELINE="${PERF_GATE_BASELINE:-BENCH_pr7.json}"
 THRESHOLD="${PERF_GATE_THRESHOLD:-10}"
 REPEAT="${PERF_GATE_REPEAT:-3}"
 JOBS="${JOBS:-$(nproc)}"
@@ -54,8 +59,10 @@ else
     OUT="${PERF_GATE_OUT:-$tmp/bench.json}"
 fi
 
-step "run micro_perf (repeat=$REPEAT, best wall time kept)"
-./build-default/bench/micro_perf --repeat "$REPEAT" --out "$OUT"
+SIMD="${SCHEDTASK_SIMD:-auto}"
+step "run micro_perf (repeat=$REPEAT, best wall time kept, simd=$SIMD)"
+SCHEDTASK_SIMD="$SIMD" \
+    ./build-default/bench/micro_perf --repeat "$REPEAT" --out "$OUT"
 
 if [ "$UPDATE" -eq 1 ]; then
     echo "baseline refreshed: $BASELINE"
