@@ -42,18 +42,19 @@ Cache::Cache(const CacheParams &params)
 }
 
 std::optional<Addr>
-Cache::insertTag(Addr tag)
+Cache::insertAbsent(std::uint64_t base_index, Addr tag)
 {
     SCHEDTASK_ASSERT(tag <= tagMask,
                      "block tag ", tag, " exceeds the packed 58-bit ",
                      "tag field");
-    const std::uint64_t base_index = setIndexOfTag(tag) * params_.assoc;
     Way *base = &ways_[base_index];
 
-    // Scan *every* way for the tag before choosing a victim: an
-    // invalid hole (from invalidate()) before a still-resident copy
-    // must not shadow it, or the set ends up holding the same block
-    // twice (duplicate valid tags corrupt validBlocks() and LRU).
+    // Victim scan: the first invalid hole wins (an invalidate() can
+    // leave one anywhere in the set), else the set's minimum-rank
+    // (oldest) valid way. Lru evicts the oldest; Fifo works
+    // identically because insert() reorders but access() refreshes
+    // only under Lru (see access()). The caller's hit scan just
+    // touched the set, so this pass stays in the host's L1.
     Way *victim = nullptr;
     unsigned valid_count = 0;
     for (unsigned w = 0; w < params_.assoc; ++w) {
@@ -63,19 +64,6 @@ Cache::insertTag(Addr tag)
             continue;
         }
         ++valid_count;
-        if ((base[w].raw & tagMask) == tag) {
-            // Already present (racy double-insert); just touch.
-            // Fifo keeps the original insertion order (the block is
-            // not re-inserted), matching the access() semantics.
-            if (lru_refresh_)
-                touchWay(base, w);
-            mru_index_ = base_index + w;
-            return std::nullopt;
-        }
-        // Lru evicts the lowest rank (the set's oldest); Fifo works
-        // identically because insert() reorders but access()
-        // refreshes only under Lru (see access()). An invalid way,
-        // once found, always wins over any valid candidate.
         if (victim == nullptr
                 || (isValid(*victim)
                     && rankOf(base[w]) < rankOf(*victim)))

@@ -123,7 +123,43 @@ class Cache
     }
 
     /** insert() with a precomputed block tag. */
-    std::optional<Addr> insertTag(Addr tag);
+    std::optional<Addr>
+    insertTag(Addr tag)
+    {
+        bool hit = false;
+        return accessOrInsertTag(tag, hit);
+    }
+
+    /**
+     * One-scan probe-and-fill: behaves as accessTag() when the block
+     * is resident (hit = true, LRU refreshed, nothing displaced) and
+     * as insertTag() when it is not (hit = false, victim way filled).
+     * Exactly equivalent to accessTag(tag) followed on a miss by
+     * insertTag(tag) — merging just avoids walking the set twice on
+     * the fill path, which the hierarchy's miss walks sit on. The
+     * hit scan is the same inline loop as accessTag()'s, so probe
+     * -style callers pay nothing extra on hits.
+     */
+    std::optional<Addr>
+    accessOrInsertTag(Addr tag, bool &hit)
+    {
+        const std::uint64_t base_index =
+            setIndexOfTag(tag) * params_.assoc;
+        Way *base = &ways_[base_index];
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            if (wayHits(base[w], tag)) {
+                // Exactly an accessTag() hit. Fifo keeps the original
+                // insertion order (the block is not re-inserted).
+                hit = true;
+                if (lru_refresh_)
+                    touchWay(base, w);
+                mru_index_ = base_index + w;
+                return std::nullopt;
+            }
+        }
+        hit = false;
+        return insertAbsent(base_index, tag);
+    }
 
     /** Probe without disturbing LRU state. */
     bool
@@ -197,6 +233,19 @@ class Cache
     /** The block tag (full block address) of a byte address. */
     Addr tagOf(Addr addr) const { return addr >> block_shift_; }
 
+    /**
+     * True when the cache's most recently touched way holds `tag`
+     * valid. A repeat probe of that block is then a pure read (see
+     * accessTag): this is the property the hierarchy's L0 presence
+     * filter certifies, and what the checked preset's L0 soundness
+     * invariant verifies.
+     */
+    bool
+    mruIsTag(Addr tag) const
+    {
+        return wayHits(ways_[mru_index_], tag);
+    }
+
   private:
     /** Field layout of a packed way: tag [0,58), rank [58,63),
      *  valid bit 63. 58 tag bits cover every byte address at line
@@ -255,6 +304,13 @@ class Cache
     touchWay(Way *base, unsigned w)
     {
         const std::uint64_t rank = rankOf(base[w]);
+        // Ranks are a dense 0..valid-1 permutation, so assoc-1 can
+        // only be held by the set's most recent way of a full set:
+        // the touch is a provable no-op, skip the store loop (hits
+        // tend to revisit each set's own most recent way long after
+        // the cache warms up, so this is the common hit shape).
+        if (rank == params_.assoc - 1)
+            return;
         std::uint64_t above = 0;
         for (unsigned v = 0; v < params_.assoc; ++v) {
             const std::uint64_t is_above = rankOf(base[v]) > rank;
@@ -295,6 +351,12 @@ class Cache
 
     /** Full way scan behind the MRU fast path of containsTag(). */
     bool containsSlow(Addr tag) const;
+
+    /** Miss half of accessOrInsertTag(): victim selection and the
+     *  recency-order insertion, for a tag known absent from the set
+     *  at `base_index`. Out of line — the fill path is rare next to
+     *  the inline hit scan in front of it. */
+    std::optional<Addr> insertAbsent(std::uint64_t base_index, Addr tag);
 
     CacheParams params_;
     std::uint64_t num_sets_;

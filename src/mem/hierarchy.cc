@@ -1,11 +1,46 @@
 #include "mem/hierarchy.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/logging.hh"
 
 namespace schedtask
 {
+
+namespace
+{
+
+/**
+ * Resolve the startup state of the L0 presence filter: SCHEDTASK_L0
+ * when set (garbage is a usage error, exit 2 like any invalid
+ * schedtask-sim flag), otherwise on. The filter is output-invariant
+ * by construction — the off switch exists so the purity proof in
+ * tools/check.sh and the differential fuzz suite can diff both modes.
+ */
+bool
+l0EnabledFromEnv()
+{
+    const char *env = std::getenv("SCHEDTASK_L0");
+    if (env == nullptr)
+        return true;
+    const std::string_view value{env};
+    if (value == "on" || value == "auto" || value == "1")
+        return true;
+    if (value == "off" || value == "0")
+        return false;
+    std::fprintf(stderr,
+                 "schedtask: invalid SCHEDTASK_L0 value '%s' "
+                 "(expected on|off|auto|0|1)\n",
+                 env);
+    std::exit(2);
+}
+
+} // namespace
 
 HierarchyParams
 HierarchyParams::paperDefault(unsigned num_cores)
@@ -34,7 +69,8 @@ HierarchyParams::config2(unsigned num_cores)
 }
 
 MemHierarchy::MemHierarchy(const HierarchyParams &params)
-    : params_(params), llc_(params.llc), directory_(params.numCores)
+    : params_(params), llc_(params.llc), directory_(params.numCores),
+      l0_enabled_(l0EnabledFromEnv())
 {
     SCHEDTASK_ASSERT(params_.numCores >= 1, "need at least one core");
     // The fetch/data hot paths precompute one line tag per access
@@ -58,30 +94,97 @@ MemHierarchy::MemHierarchy(const HierarchyParams &params)
         itlbs_.push_back(std::make_unique<Tlb>(params_.itlb));
         dtlbs_.push_back(std::make_unique<Tlb>(params_.dtlb));
     }
+    l0_.resize(params_.numCores);
+    l0_owned_.resize(static_cast<std::size_t>(params_.numCores)
+                         * ownedEntries,
+                     L0Memo::noTag);
+    resetL0();
+
+    // A data-read miss exposes llround(fill_latency * (1 - hide)).
+    // The fill latency takes one of four values (one per fill
+    // source), so the rounded results are precomputed here — the
+    // miss path then just picks one instead of scaling through
+    // floating point per miss.
+    const auto exposedRead = [this](Cycles fill_latency) {
+        const double expose = 1.0 - params_.dataHideFactor;
+        return static_cast<Cycles>(std::llround(
+            static_cast<double>(fill_latency) * expose));
+    };
+    exposed_l2_fill_ = exposedRead(params_.l2.latency);
+    exposed_llc_fill_ = exposedRead(params_.llc.latency);
+    exposed_mem_fill_ =
+        exposedRead(params_.llc.latency + params_.memLatency);
+    exposed_remote_fill_ = exposedRead(params_.remoteFillLatency);
+    // Same for the dTLB walk: a miss always costs dtlb.missPenalty.
+    exposed_dtlb_walk_ = static_cast<Cycles>(std::llround(
+        static_cast<double>(params_.dtlb.missPenalty)
+        * (1.0 - params_.dtlbHideFactor)));
+}
+
+void
+MemHierarchy::resetL0()
+{
+    l0_fetch_ = l0_enabled_ && prefetcher_ == nullptr
+        && trace_caches_.empty();
+    std::fill(l0_.begin(), l0_.end(), L0Memo{});
+    std::fill(l0_owned_.begin(), l0_owned_.end(), L0Memo::noTag);
+}
+
+void
+MemHierarchy::setPresenceFilter(bool enabled)
+{
+    l0_enabled_ = enabled;
+    resetL0();
 }
 
 Cycles
 MemHierarchy::fillFromShared(CoreId core, Addr line_tag, bool &llc_hit)
 {
+    // Probe and fill share one set scan; LLC evictions are silent
+    // (clean shared data, no directory state below the LLC).
     (void)core;
-    llc_hit = llc_.accessTag(line_tag);
+    llc_hit = false;
+    llc_.accessOrInsertTag(line_tag, llc_hit);
     if (llc_hit)
         return params_.llc.latency;
-    llc_.insertTag(line_tag);
     return params_.llc.latency + params_.memLatency;
 }
 
 Cycles
-MemHierarchy::fetchImpl(CoreId core, Addr addr, ExecClass cls)
+MemHierarchy::fetchMiss(CoreId core, Addr line_tag)
+{
+    // L1I miss: walk the lower levels, exposing the full latency
+    // plus the frontend refill bubble. The caller fills the L1I (see
+    // fetchImpl's merged probe and fetchAux). The L2 probe and fill
+    // share one scan too — filling before the LLC walk instead of
+    // after it is unobservable (the walk never reads this L2, and L2
+    // evictions are silent).
+    Cycles stall = params_.frontendBubbleCycles;
+    if (params_.hasPrivateL2) {
+        ++l2_counts_.accesses;
+        bool l2_hit = false;
+        l2_[core]->accessOrInsertTag(line_tag, l2_hit);
+        if (l2_hit) {
+            ++l2_counts_.hits;
+            stall += params_.l2.latency;
+        } else {
+            bool llc_hit = false;
+            stall += fillFromShared(core, line_tag, llc_hit);
+        }
+    } else {
+        bool llc_hit = false;
+        stall += fillFromShared(core, line_tag, llc_hit);
+    }
+    return stall;
+}
+
+Cycles
+MemHierarchy::fetchAux(CoreId core, Addr addr, ExecClass cls,
+                       Cycles stall)
 {
     const Addr line = lineAddrOf(addr);
-    // One tag split, shared by the L1I, L2 and LLC probes (they all
-    // index at line granularity; asserted in the constructor).
     const Addr line_tag = lineNumOf(addr);
-    Cycles stall = itlbs_[core]->translate(addr);
-
     AccessCounts &counts = i_counts_[static_cast<unsigned>(cls)];
-    ++counts.accesses;
 
     if (!trace_caches_.empty() && trace_caches_[core]->access(line)) {
         // Trace-cache hit: served without touching the i-cache.
@@ -96,56 +199,20 @@ MemHierarchy::fetchImpl(CoreId core, Addr addr, ExecClass cls)
         ++counts.hits;
         return stall;
     }
-
-    // L1I miss: walk the lower levels, exposing the full latency
-    // plus the frontend refill bubble.
-    stall += params_.frontendBubbleCycles;
-    if (params_.hasPrivateL2)
-        ++l2_counts_.accesses;
-    if (params_.hasPrivateL2 && l2_[core]->accessTag(line_tag)) {
-        ++l2_counts_.hits;
-        stall += params_.l2.latency;
-    } else {
-        bool llc_hit = false;
-        stall += fillFromShared(core, line_tag, llc_hit);
-        if (params_.hasPrivateL2)
-            l2_[core]->insertTag(line_tag);
-    }
+    const Cycles miss = fetchMiss(core, line_tag);
+    // Fill after the walk, as the pre-merge code did: a prefetcher's
+    // installInstLine may have touched this L1I during onFetch above,
+    // so the fill order is observable on this path.
     l1i_[core]->insertTag(line_tag);
-    return stall;
+    return stall + miss;
 }
 
 Cycles
-MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
-                       ExecClass cls)
+MemHierarchy::dataSlow(CoreId core, Addr addr, bool is_write,
+                       ExecClass cls, Addr line_tag)
 {
     const Addr line = lineAddrOf(addr);
-    const Addr line_tag = lineNumOf(addr);
-    const Cycles walk = dtlbs_[core]->translate(addr);
-    // The common case (dTLB hit) skips the floating-point scaling.
-    Cycles stall = 0;
-    if (walk != 0) {
-        const double dtlb_expose = 1.0 - params_.dtlbHideFactor;
-        stall = static_cast<Cycles>(std::llround(
-            static_cast<double>(walk) * dtlb_expose));
-    }
-
-    AccessCounts &counts = d_counts_[static_cast<unsigned>(cls)];
-    ++counts.accesses;
-
-    // Read of a locally cached line: the directory consult is a
-    // provable no-op, so skip it. The invariant is that a line in
-    // this core's L1D always has this core's sharer bit set and no
-    // remote dirty owner — every path that removes the line from the
-    // L1D (capacity eviction -> onEvict, remote write ->
-    // invalidateMask) also updates the directory, and a remote write
-    // that installs a dirty owner always invalidates our copy first.
-    // onRead would therefore find the bit already set, report no
-    // remote-dirty fill, and never produce an invalidate mask.
-    if (!is_write && l1d_[core]->accessTag(line_tag)) {
-        ++counts.hits;
-        return stall;
-    }
+    L0Memo &memo = l0_[core];
 
     const DirectoryOutcome outcome = is_write
         ? directory_.onWrite(core, line)
@@ -161,54 +228,96 @@ MemHierarchy::dataImpl(CoreId core, Addr addr, bool is_write,
             if (params_.hasPrivateL2)
                 l2_[victim]->invalidate(line);
             ++coherence_invalidations_;
+            // The victim's copy is gone: its repeat accesses of this
+            // line are no longer pure.
+            l0ClearData(victim, line_tag);
         }
     }
 
+    if (outcome.dirtyOwner != invalidCore) {
+        // On a read this is an M->O downgrade: the old owner keeps a
+        // readable copy (its last-line memo stays valid for reads),
+        // but its repeat *writes* are no longer directory no-ops. On
+        // a write the owner is also in the invalidate mask and was
+        // fully cleared above; dropping the write certificate again
+        // is harmless.
+        L0Memo &owner_memo = l0_[outcome.dirtyOwner];
+        if (owner_memo.dline == line_tag)
+            owner_memo.dwrite = false;
+        Addr &owned = ownedSlot(outcome.dirtyOwner, line_tag);
+        if (owned == line_tag)
+            owned = L0Memo::noTag;
+    }
+
+    AccessCounts &counts = d_counts_[static_cast<unsigned>(cls)];
     const bool local_hit = !is_write
-        ? false // read path already probed above and missed
+        ? false // read path already probed in dataImpl and missed
         : l1d_[core]->accessTag(line_tag) && !outcome.remoteDirtyFill;
 
     if (local_hit) {
         ++counts.hits;
-        return stall;
+        if (l0_enabled_) {
+            // onWrite just made this core sole sharer and owner.
+            memo.dline = line_tag;
+            memo.dwrite = true;
+            ownedSlot(core, line_tag) = line_tag;
+        }
+        return 0;
     }
 
     // Fill path. Remote-dirty lines come from the owner's cache.
-    Cycles fill_latency;
+    // Each fill source's exposed read latency is precomputed in the
+    // constructor (the llround of that source's fill latency), so the
+    // floating-point scaling is off the per-miss path. The L2 probe
+    // and fill share one scan, as on the fetch side.
+    Cycles exposed_fill;
     if (outcome.remoteDirtyFill) {
         ++remote_dirty_fills_;
         l1d_[core]->invalidate(line); // stale copy, if any
-        fill_latency = params_.remoteFillLatency;
+        exposed_fill = exposed_remote_fill_;
     } else if (params_.hasPrivateL2) {
         ++l2_counts_.accesses;
-        if (l2_[core]->accessTag(line_tag)) {
+        bool l2_hit = false;
+        l2_[core]->accessOrInsertTag(line_tag, l2_hit);
+        if (l2_hit) {
             ++l2_counts_.hits;
-            fill_latency = params_.l2.latency;
+            exposed_fill = exposed_l2_fill_;
         } else {
             bool llc_hit = false;
-            fill_latency = fillFromShared(core, line_tag, llc_hit);
-            l2_[core]->insertTag(line_tag);
+            fillFromShared(core, line_tag, llc_hit);
+            exposed_fill =
+                llc_hit ? exposed_llc_fill_ : exposed_mem_fill_;
         }
     } else {
         bool llc_hit = false;
-        fill_latency = fillFromShared(core, line_tag, llc_hit);
+        fillFromShared(core, line_tag, llc_hit);
+        exposed_fill = llc_hit ? exposed_llc_fill_ : exposed_mem_fill_;
     }
     const std::optional<Addr> evicted = l1d_[core]->insertTag(line_tag);
-    if (evicted)
+    if (evicted) {
         directory_.onEvict(core, *evicted);
+        // Our own copy of the evicted line is gone; clear before the
+        // new memo lands in case both map to one ownership slot.
+        l0ClearData(core, lineNumOf(*evicted));
+    }
+    if (l0_enabled_) {
+        // The accessed line is now resident and MRU; a write also
+        // holds it exclusively (onWrite above), a read shares it.
+        memo.dline = line_tag;
+        memo.dwrite = is_write;
+        if (is_write)
+            ownedSlot(core, line_tag) = line_tag;
+    }
 
     if (is_write) {
         // Stores retire through the store buffer; only coherence
-        // transfers expose latency.
-        if (outcome.remoteDirtyFill)
-            stall += fill_latency / 2;
-        return stall;
+        // transfers expose latency (the fill above was the remote
+        // transfer exactly when remoteDirtyFill is set).
+        return outcome.remoteDirtyFill ? params_.remoteFillLatency / 2
+                                       : 0;
     }
 
-    const double expose = 1.0 - params_.dataHideFactor;
-    stall += static_cast<Cycles>(
-        std::llround(static_cast<double>(fill_latency) * expose));
-    return stall;
+    return exposed_fill;
 }
 
 void
@@ -222,6 +331,7 @@ void
 MemHierarchy::setPrefetcher(std::unique_ptr<InstPrefetcher> pf)
 {
     prefetcher_ = std::move(pf);
+    resetL0();
 }
 
 void
@@ -231,6 +341,7 @@ MemHierarchy::enableTraceCaches(const TraceCacheParams &params)
     trace_caches_.reserve(params_.numCores);
     for (unsigned c = 0; c < params_.numCores; ++c)
         trace_caches_.push_back(std::make_unique<TraceCache>(params));
+    resetL0();
 }
 
 bool
@@ -247,6 +358,11 @@ MemHierarchy::installInstLine(CoreId core, Addr line_addr)
         l1i_[core]->insertTag(line_tag);
     if (params_.hasPrivateL2 && !l2_[core]->containsTag(line_tag))
         l2_[core]->insertTag(line_tag);
+    // The install may change the L1I's recency state (and can evict
+    // the memoized line), so the last-fetch memo no longer certifies
+    // a pure repeat. Prefetcher configurations never arm it, but
+    // tests drive this entry point directly.
+    l0_[core].iline = L0Memo::noTag;
 }
 
 const AccessCounts &
@@ -325,6 +441,61 @@ MemHierarchy::checkCacheInvariants() const
             check(*l2_[c], "L2");
     }
     check(llc_, "LLC");
+
+    if (!l0_enabled_)
+        return;
+
+    // L0 presence-filter soundness: every memo must certify exactly
+    // the state the purity proof relies on. A violation means a
+    // coherence hook was missed and the fast path is about to skip
+    // work the exact path would have done.
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        const L0Memo &memo = l0_[c];
+        SCHEDTASK_ASSERT(l0_fetch_ || memo.iline == L0Memo::noTag,
+                         "L0 fetch memo armed while gated off");
+        if (memo.iline != L0Memo::noTag)
+            SCHEDTASK_ASSERT(l1i_[c]->mruIsTag(memo.iline),
+                             "L0 iline memo of core ", c,
+                             " is not the L1I MRU block");
+        if (memo.ipage != L0Memo::noTag)
+            SCHEDTASK_ASSERT(itlbs_[c]->mruIsPage(memo.ipage),
+                             "L0 ipage memo of core ", c,
+                             " is not the iTLB MRU page");
+        if (memo.dpage != L0Memo::noTag)
+            SCHEDTASK_ASSERT(dtlbs_[c]->mruIsPage(memo.dpage),
+                             "L0 dpage memo of core ", c,
+                             " is not the dTLB MRU page");
+        if (memo.dline != L0Memo::noTag) {
+            SCHEDTASK_ASSERT(l1d_[c]->mruIsTag(memo.dline),
+                             "L0 dline memo of core ", c,
+                             " is not the L1D MRU block");
+            if (memo.dwrite) {
+                const DirectoryLineState s =
+                    directory_.peek(memo.dline << lineShift);
+                SCHEDTASK_ASSERT(s.tracked && s.dirtyOwner == c
+                                     && s.sharers
+                                         == (std::uint64_t{1} << c),
+                                 "L0 write memo of core ", c,
+                                 " without exclusive ownership");
+            }
+        }
+        for (unsigned e = 0; e < ownedEntries; ++e) {
+            const Addr tag =
+                l0_owned_[static_cast<std::size_t>(c) * ownedEntries
+                          + e];
+            if (tag == L0Memo::noTag)
+                continue;
+            SCHEDTASK_ASSERT(l1d_[c]->containsTag(tag),
+                             "L0 owned line of core ", c,
+                             " absent from its L1D");
+            const DirectoryLineState s =
+                directory_.peek(tag << lineShift);
+            SCHEDTASK_ASSERT(s.tracked && s.dirtyOwner == c
+                                 && s.sharers == (std::uint64_t{1} << c),
+                             "L0 owned memo of core ", c,
+                             " without exclusive ownership");
+        }
+    }
 }
 
 void
@@ -343,6 +514,10 @@ MemHierarchy::resetStats()
         t->resetStats();
     for (auto &t : dtlbs_)
         t->resetStats();
+    for (auto &t : trace_caches_)
+        t->resetStats();
+    if (prefetcher_)
+        prefetcher_->resetStats();
 }
 
 } // namespace schedtask

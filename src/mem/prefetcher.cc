@@ -7,6 +7,24 @@
 namespace schedtask
 {
 
+namespace
+{
+
+/**
+ * Next-line prefetchers work on physical addresses and cannot cross
+ * a page boundary: the next virtual page may map anywhere, so a
+ * sequential physical prefetch past the page edge would fetch an
+ * unrelated page's line (and this simulator's scattered frame layout
+ * makes that pollution certain, not just likely).
+ */
+bool
+samePage(Addr a, Addr b)
+{
+    return pageFrameOf(a) == pageFrameOf(b);
+}
+
+} // namespace
+
 NextLinePrefetcher::NextLinePrefetcher(unsigned degree)
     : degree_(degree)
 {
@@ -20,7 +38,10 @@ NextLinePrefetcher::onFetch(CoreId core, Addr line_addr, bool hit,
     if (hit)
         return;
     for (unsigned d = 1; d <= degree_; ++d) {
-        sink.installInstLine(core, line_addr + d * lineBytes);
+        const Addr next = line_addr + d * lineBytes;
+        if (!samePage(line_addr, next))
+            break;
+        sink.installInstLine(core, next);
         ++issued_;
     }
 }
@@ -64,8 +85,10 @@ CallGraphPrefetcher::onFetch(CoreId core, Addr line_addr, bool hit,
         cs.timely = !cs.timely;
         if (cs.timely) {
             for (unsigned d = 1; d <= next_line_degree_; ++d) {
-                sink.installInstLine(core,
-                                     line_addr + d * lineBytes);
+                const Addr next = line_addr + d * lineBytes;
+                if (!samePage(line_addr, next))
+                    break;
+                sink.installInstLine(core, next);
                 ++issued_;
             }
         }

@@ -61,6 +61,9 @@ class InstPrefetcher
     /** Number of prefetches issued so far. */
     std::uint64_t issued() const { return issued_; }
 
+    /** Reset the statistics, keeping learned state. */
+    void resetStats() { issued_ = 0; }
+
   protected:
     std::uint64_t issued_ = 0;
 };

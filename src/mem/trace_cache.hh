@@ -57,8 +57,33 @@ class TraceCache
      */
     bool access(Addr line_addr);
 
-    std::uint64_t accesses() const { return accesses_; }
-    std::uint64_t hits() const { return hits_; }
+    std::uint64_t accesses() const { return accesses_ - accesses_at_reset_; }
+    std::uint64_t hits() const { return hits_ - hits_at_reset_; }
+
+    /**
+     * Number of traces with a recorded build stamp. Tracks the
+     * resident traces exactly — insert() reports the evicted trace
+     * at the cache's own block alignment, which is the same
+     * super-block key built_at_ uses — so this never exceeds the
+     * configured trace capacity (asserted by the churn test).
+     */
+    std::size_t trackedTraces() const { return built_at_.size(); }
+
+    /**
+     * Reset the statistics, keeping contents. Implemented by
+     * rebasing rather than zeroing: the raw access count doubles as
+     * the build-retirement clock compared against built_at_ stamps,
+     * so zeroing it mid-run would make every in-flight trace's age
+     * (clock - stamp) wrap the unsigned arithmetic and retire it
+     * instantly. The clock stays monotonic; only the reported
+     * counters restart.
+     */
+    void
+    resetStats()
+    {
+        accesses_at_reset_ = accesses_;
+        hits_at_reset_ = hits_;
+    }
 
   private:
     /** Accesses after which a built trace becomes serveable. */
@@ -69,6 +94,8 @@ class TraceCache
     std::unordered_map<Addr, std::uint64_t> built_at_;
     std::uint64_t accesses_ = 0;
     std::uint64_t hits_ = 0;
+    std::uint64_t accesses_at_reset_ = 0;
+    std::uint64_t hits_at_reset_ = 0;
 };
 
 } // namespace schedtask

@@ -61,10 +61,18 @@ SchedulerRegistry::instance()
 void
 SchedulerRegistry::ensureBuiltins()
 {
-    if (builtins_registered_)
+    // Lock-free once registration has fully completed. Concurrent
+    // first callers (e.g. SweepRunner worker threads building their
+    // schedulers) serialize below — a plain bool here was a real
+    // TSan-visible race: one thread could see the flag while another
+    // was still mutating entries_.
+    if (builtins_ready_.load(std::memory_order_acquire))
         return;
+    const std::lock_guard<std::recursive_mutex> lock(builtins_mutex_);
+    if (builtins_registered_)
+        return; // re-entry from a hook, or another thread finished
     // Set the flag first: the register hooks below re-enter through
-    // instance().
+    // instance() on this same thread.
     builtins_registered_ = true;
     registerLinuxTechnique();
     registerSelectiveOffloadTechnique();
@@ -74,6 +82,7 @@ SchedulerRegistry::ensureBuiltins()
     registerSchedTaskTechnique();
     registerHeteroSchedTaskTechnique();
     registerHtsTechnique();
+    builtins_ready_.store(true, std::memory_order_release);
 }
 
 void

@@ -25,9 +25,11 @@
 #ifndef SCHEDTASK_SCHED_REGISTRY_HH
 #define SCHEDTASK_SCHED_REGISTRY_HH
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -126,6 +128,13 @@ class SchedulerRegistry
 
     /** Keyed by lower-cased name; std::map keeps listings sorted. */
     std::map<std::string, SchedulerInfo> entries_;
+    /** True only after every built-in hook has completed; an acquire
+     *  load makes the finished map visible to other threads, so
+     *  post-registration lookups take no lock. */
+    std::atomic<bool> builtins_ready_{false};
+    /** Serializes the one-time registration; recursive because the
+     *  built-in hooks re-enter through instance(). */
+    std::recursive_mutex builtins_mutex_;
     bool builtins_registered_ = false;
 };
 

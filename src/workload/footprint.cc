@@ -77,6 +77,8 @@ FootprintWalker::reset(const Footprint *footprint, double jump_prob,
     SCHEDTASK_ASSERT(footprint != nullptr && footprint->size() > 0,
                      "walker needs a non-empty footprint");
     footprint_ = footprint;
+    lines_ = footprint->lines().data();
+    size_ = footprint->size();
     jump_prob_ = jump_prob;
     far_jump_prob_ = far_jump_prob;
     cursor_ = start_index % footprint->size();

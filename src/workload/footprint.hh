@@ -134,15 +134,15 @@ class FootprintWalker
     Addr
     nextLine(Rng &rng)
     {
-        SCHEDTASK_ASSERT(footprint_ != nullptr,
+        SCHEDTASK_ASSERT(lines_ != nullptr,
                          "walker not reset before nextLine()");
-        const std::uint64_t size = footprint_->size();
+        const std::uint64_t size = size_;
 
         // Tight loop: re-fetch the previous line without advancing.
         if (excursion_left_ == 0 && rng.chance(repeatProb))
-            return footprint_->lines()[prev_cursor_];
+            return lines_[prev_cursor_];
 
-        const Addr line = footprint_->lines()[cursor_];
+        const Addr line = lines_[cursor_];
         prev_cursor_ = cursor_;
 
         if (excursion_left_ > 0) {
@@ -208,6 +208,13 @@ class FootprintWalker
 
   private:
     const Footprint *footprint_ = nullptr;
+    /** Flat view of footprint_->lines(), resolved once in reset():
+     *  nextLine() is the core's innermost call, and the two pointer
+     *  chases through the Footprint are measurable there. The line
+     *  list is append-only and walkers are reset after footprint
+     *  construction, so the view cannot dangle. */
+    const Addr *lines_ = nullptr;
+    std::uint64_t size_ = 0;
     double jump_prob_ = 0.0;
     double far_jump_prob_ = defaultFarJumpProb;
     std::uint64_t cursor_ = 0;

@@ -165,3 +165,21 @@ TEST(Hierarchy, TlbHitRatesAggregated)
     EXPECT_GT(h.itlbHitRate(), 0.0);
     EXPECT_LT(h.itlbHitRate(), 1.0);
 }
+
+TEST(Hierarchy, ResetStatsClearsTraceCacheAndPrefetcherCounters)
+{
+    MemHierarchy h(tinyParams());
+    h.enableTraceCaches(TraceCacheParams{});
+    h.setPrefetcher(std::make_unique<NextLinePrefetcher>(2));
+    h.fetch(0, 0x10000, ExecClass::Os); // miss: builds + prefetches
+    h.fetch(0, 0x10000, ExecClass::Os);
+    ASSERT_NE(h.traceCache(0), nullptr);
+    ASSERT_GT(h.traceCache(0)->accesses(), 0u);
+    ASSERT_GT(h.prefetcher()->issued(), 0u);
+    h.resetStats();
+    // resetStats marks the end of warmup: every reported statistic
+    // must restart, including the trace-cache and prefetcher ones.
+    EXPECT_EQ(h.traceCache(0)->accesses(), 0u);
+    EXPECT_EQ(h.traceCache(0)->hits(), 0u);
+    EXPECT_EQ(h.prefetcher()->issued(), 0u);
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the L0 presence filter in front of the memory hierarchy.
+ *
+ * The filter's contract is *purity*: with it on or off, every access
+ * must return the same stall cycles and leave identical statistics
+ * behind — it may only skip work it can prove changes nothing. The
+ * differential fuzz here drives a filtered and an unfiltered
+ * hierarchy through the same randomized fetch/read/write/install
+ * sequences (heavy on the repeats, evictions and cross-core sharing
+ * that the memos must survive) and asserts lock-step equality, with
+ * the checked-preset soundness invariant sprinkled through the run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "mem/hierarchy.hh"
+
+using namespace schedtask;
+
+namespace
+{
+
+/** Tiny caches so the fuzz churns through evictions constantly. */
+HierarchyParams
+fuzzParams(unsigned cores, bool private_l2)
+{
+    HierarchyParams p = HierarchyParams::paperDefault(cores);
+    p.l1i = CacheParams{2 * 1024, 2, lineBytes, 3};
+    p.l1d = CacheParams{2 * 1024, 2, lineBytes, 3};
+    p.hasPrivateL2 = private_l2;
+    p.l2 = CacheParams{8 * 1024, 4, lineBytes, 8};
+    p.llc = CacheParams{32 * 1024, 4, lineBytes, 18};
+    p.itlb = TlbParams{8, 2, 40};
+    p.dtlb = TlbParams{8, 2, 40};
+    return p;
+}
+
+void
+expectSameStats(const MemHierarchy &filtered, const MemHierarchy &exact)
+{
+    for (unsigned c = 0; c < numExecClasses; ++c) {
+        const ExecClass cls = static_cast<ExecClass>(c);
+        EXPECT_EQ(filtered.iCounts(cls).accesses,
+                  exact.iCounts(cls).accesses);
+        EXPECT_EQ(filtered.iCounts(cls).hits, exact.iCounts(cls).hits);
+        EXPECT_EQ(filtered.dCounts(cls).accesses,
+                  exact.dCounts(cls).accesses);
+        EXPECT_EQ(filtered.dCounts(cls).hits, exact.dCounts(cls).hits);
+    }
+    EXPECT_EQ(filtered.l2Counts().accesses, exact.l2Counts().accesses);
+    EXPECT_EQ(filtered.l2Counts().hits, exact.l2Counts().hits);
+    EXPECT_EQ(filtered.fetchStallCycles(), exact.fetchStallCycles());
+    EXPECT_EQ(filtered.dataStallCycles(), exact.dataStallCycles());
+    EXPECT_EQ(filtered.coherenceInvalidations(),
+              exact.coherenceInvalidations());
+    EXPECT_EQ(filtered.remoteDirtyFills(), exact.remoteDirtyFills());
+    for (unsigned c = 0; c < filtered.params().numCores; ++c) {
+        EXPECT_EQ(filtered.itlb(c).accesses(), exact.itlb(c).accesses());
+        EXPECT_EQ(filtered.itlb(c).hits(), exact.itlb(c).hits());
+        EXPECT_EQ(filtered.dtlb(c).accesses(), exact.dtlb(c).accesses());
+        EXPECT_EQ(filtered.dtlb(c).hits(), exact.dtlb(c).hits());
+    }
+}
+
+/**
+ * Drive both hierarchies through one randomized op stream. The
+ * address pool mixes a hot set (repeat-heavy, exercising the memos),
+ * shared lines (cross-core coherence: invalidations and M->O
+ * downgrades hitting memoized state) and a cold sweep (evictions of
+ * memoized lines through tiny caches).
+ */
+void
+differentialFuzz(const HierarchyParams &params, std::uint64_t seed,
+                 std::uint64_t ops)
+{
+    MemHierarchy filtered(params);
+    MemHierarchy exact(params);
+    filtered.setPresenceFilter(true);
+    exact.setPresenceFilter(false);
+    Rng rng(seed);
+
+    const unsigned cores = params.numCores;
+    std::vector<Addr> last_addr(cores, 0x1000);
+    Addr cold = 0x40000000;
+
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const CoreId core = static_cast<CoreId>(rng.below(cores));
+        const ExecClass cls =
+            rng.chance(0.5) ? ExecClass::App : ExecClass::Os;
+
+        Addr addr;
+        const std::uint64_t pick = rng.below(100);
+        if (pick < 45) {
+            // Repeat the core's previous address: the memo case.
+            addr = last_addr[core];
+        } else if (pick < 65) {
+            // Hot pool: a few pages, revisited by every core.
+            addr = 0x100000 + rng.below(4) * pageBytes
+                + rng.below(8) * lineBytes;
+        } else if (pick < 85) {
+            // Shared contention lines: force invalidations and
+            // remote-dirty transfers against memoized state.
+            addr = 0x200000 + rng.below(4) * lineBytes;
+        } else {
+            // Cold sweep: churn the tiny caches so memoized lines
+            // and owned entries get evicted.
+            cold += lineBytes * (1 + rng.below(64));
+            addr = cold;
+        }
+        last_addr[core] = addr;
+
+        const std::uint64_t op = rng.below(100);
+        if (op < 30) {
+            ASSERT_EQ(filtered.fetch(core, addr, cls),
+                      exact.fetch(core, addr, cls))
+                << "fetch diverged at op " << i;
+        } else if (op < 97) {
+            const bool write = rng.chance(0.35);
+            ASSERT_EQ(filtered.data(core, addr, write, cls),
+                      exact.data(core, addr, write, cls))
+                << (write ? "write" : "read") << " diverged at op "
+                << i;
+        } else {
+            // Direct prefetch-style install: mutates the L1I behind
+            // the demand path, must demote the fetch memo.
+            filtered.installInstLine(core, lineAddrOf(addr));
+            exact.installInstLine(core, lineAddrOf(addr));
+        }
+
+        if (i % 4096 == 0)
+            filtered.checkCacheInvariants();
+    }
+    filtered.checkCacheInvariants();
+    expectSameStats(filtered, exact);
+
+    // Stats reset must not upset either side mid-stream.
+    filtered.resetStats();
+    exact.resetStats();
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        const CoreId core = static_cast<CoreId>(rng.below(cores));
+        const Addr addr = 0x100000 + rng.below(64) * lineBytes;
+        const bool write = rng.chance(0.5);
+        ASSERT_EQ(filtered.data(core, addr, write, ExecClass::App),
+                  exact.data(core, addr, write, ExecClass::App));
+    }
+    expectSameStats(filtered, exact);
+}
+
+} // namespace
+
+TEST(L0Filter, DifferentialFuzzThreeLevel)
+{
+    differentialFuzz(fuzzParams(4, /*private_l2=*/true),
+                     0xf00d'0001, 60000);
+}
+
+TEST(L0Filter, DifferentialFuzzTwoLevel)
+{
+    differentialFuzz(fuzzParams(2, /*private_l2=*/false),
+                     0xf00d'0002, 60000);
+}
+
+TEST(L0Filter, DifferentialFuzzSingleCore)
+{
+    differentialFuzz(fuzzParams(1, /*private_l2=*/true),
+                     0xf00d'0003, 30000);
+}
+
+TEST(L0Filter, FetchRunSettlingMatchesRepeatedFetch)
+{
+    const HierarchyParams p = fuzzParams(1, true);
+    MemHierarchy batched(p);
+    MemHierarchy exact(p);
+    batched.setPresenceFilter(true);
+    exact.setPresenceFilter(true);
+    ASSERT_TRUE(batched.fetchRunsPure());
+
+    // One demand fetch arms the memo; the repeats are settled in one
+    // call on the batched side and replayed one by one on the other.
+    EXPECT_EQ(batched.fetch(0, 0x5000, ExecClass::App),
+              exact.fetch(0, 0x5000, ExecClass::App));
+    batched.settleFetchRun(0, ExecClass::App, 7);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(exact.fetch(0, 0x5000, ExecClass::App), 0u);
+
+    EXPECT_EQ(batched.iCounts(ExecClass::App).accesses,
+              exact.iCounts(ExecClass::App).accesses);
+    EXPECT_EQ(batched.iCounts(ExecClass::App).hits,
+              exact.iCounts(ExecClass::App).hits);
+    EXPECT_EQ(batched.itlb(0).accesses(), exact.itlb(0).accesses());
+    EXPECT_EQ(batched.itlb(0).hits(), exact.itlb(0).hits());
+    batched.checkCacheInvariants();
+}
+
+TEST(L0Filter, FetchRunsNotPureWithPrefetcherOrTraceCache)
+{
+    const HierarchyParams p = fuzzParams(1, true);
+    MemHierarchy h(p);
+    h.setPresenceFilter(true);
+    EXPECT_TRUE(h.fetchRunsPure());
+
+    // A prefetcher observes every demand fetch (and its hit/miss),
+    // so batching repeats past it would starve its state machine.
+    h.setPrefetcher(std::make_unique<NextLinePrefetcher>(2));
+    EXPECT_FALSE(h.fetchRunsPure());
+
+    MemHierarchy h2(p);
+    h2.setPresenceFilter(true);
+    h2.enableTraceCaches(TraceCacheParams{});
+    EXPECT_FALSE(h2.fetchRunsPure());
+
+    MemHierarchy h3(p);
+    h3.setPresenceFilter(false);
+    EXPECT_FALSE(h3.fetchRunsPure());
+    EXPECT_FALSE(h3.presenceFilterEnabled());
+}
+
+TEST(L0Filter, OwnershipMemoSurvivesCoherenceTraffic)
+{
+    // Directed version of the nastiest fuzz case: core 0 memoizes
+    // exclusive ownership, remote traffic breaks it, and the next
+    // write must take the exact path (observable through identical
+    // invalidation counts against an unfiltered twin).
+    const HierarchyParams p = fuzzParams(2, true);
+    MemHierarchy filtered(p);
+    MemHierarchy exact(p);
+    filtered.setPresenceFilter(true);
+    exact.setPresenceFilter(false);
+
+    const Addr line = 0x300000;
+    const auto step = [&](CoreId core, bool write) {
+        ASSERT_EQ(filtered.data(core, line, write, ExecClass::App),
+                  exact.data(core, line, write, ExecClass::App));
+        filtered.checkCacheInvariants();
+    };
+    step(0, true);  // core 0 owns dirty; memo armed
+    step(0, true);  // pure repeat write (memo hit)
+    step(1, false); // M->O downgrade: demotes core 0's write memo
+    step(0, true);  // must re-consult the directory (invalidates 1)
+    step(1, true);  // remote write: invalidates core 0's copy + memo
+    step(0, false); // remote dirty fill back
+    step(0, true);  // re-own
+    EXPECT_EQ(filtered.coherenceInvalidations(),
+              exact.coherenceInvalidations());
+    EXPECT_EQ(filtered.remoteDirtyFills(), exact.remoteDirtyFills());
+}

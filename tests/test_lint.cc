@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -437,8 +439,12 @@ class LintCliTest : public ::testing::Test
     void
     SetUp() override
     {
+        // Unique per process: ctest runs each test in its own
+        // process and may run several LintCliTest cases in
+        // parallel, so a shared fixed directory races one test's
+        // TearDown against another's file writes.
         dir_ = std::filesystem::path(::testing::TempDir())
-            / "schedtask_lint_cli";
+            / ("schedtask_lint_cli." + std::to_string(::getpid()));
         std::filesystem::remove_all(dir_);
         std::filesystem::create_directories(dir_);
     }

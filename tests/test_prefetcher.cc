@@ -126,3 +126,48 @@ TEST(CallGraphPrefetcher, PerCoreRecordingState)
     ASSERT_EQ(sink.installs.size(), 1u);
     EXPECT_EQ(sink.installs[0].second, 0xe000u);
 }
+
+TEST(NextLinePrefetcher, StopsAtPageBoundary)
+{
+    NextLinePrefetcher pf(4);
+    RecordingSink sink;
+    // Last line of a page: every next-line candidate crosses into
+    // the following page, whose frame maps elsewhere — nothing may
+    // issue.
+    pf.onFetch(0, pageBytes - lineBytes, /*hit=*/false, sink);
+    EXPECT_TRUE(sink.installs.empty());
+    EXPECT_EQ(pf.issued(), 0u);
+
+    // Second-to-last line: exactly one candidate fits in the page.
+    pf.onFetch(0, pageBytes - 2 * lineBytes, /*hit=*/false, sink);
+    ASSERT_EQ(sink.installs.size(), 1u);
+    EXPECT_EQ(sink.installs[0].second, pageBytes - lineBytes);
+    EXPECT_EQ(pf.issued(), 1u);
+}
+
+TEST(CallGraphPrefetcher, NextLineFallbackStopsAtPageBoundary)
+{
+    CallGraphPrefetcher pf(1, /*record_limit=*/0,
+                           /*next_line_degree=*/2);
+    RecordingSink sink;
+    // The timeliness toggle issues on every other miss: the first
+    // and third misses are the timely ones.
+    pf.onFetch(0, 2 * pageBytes - lineBytes, /*hit=*/false, sink);
+    EXPECT_TRUE(sink.installs.empty());
+    EXPECT_EQ(pf.issued(), 0u);
+    pf.onFetch(0, 0x9000, /*hit=*/false, sink); // untimely: no issue
+    EXPECT_TRUE(sink.installs.empty());
+    pf.onFetch(0, 3 * pageBytes - 2 * lineBytes, /*hit=*/false, sink);
+    ASSERT_EQ(sink.installs.size(), 1u);
+    EXPECT_EQ(sink.installs[0].second, 3 * pageBytes - lineBytes);
+}
+
+TEST(InstPrefetcher, ResetStatsClearsIssued)
+{
+    NextLinePrefetcher pf(2);
+    RecordingSink sink;
+    pf.onFetch(0, 0x1000, /*hit=*/false, sink);
+    ASSERT_GT(pf.issued(), 0u);
+    pf.resetStats();
+    EXPECT_EQ(pf.issued(), 0u);
+}

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <fstream>
 #include <latch>
@@ -343,8 +345,10 @@ readFileOrEmpty(const std::string &path)
 
 TEST(SweepTrace, TraceDirWritesValidFilesWithoutPerturbingResults)
 {
-    const std::string dir =
-        ::testing::TempDir() + "schedtask_sweep_traces";
+    // Pid-suffixed so overlapping test runs cannot race on the
+    // directory (see the LintCliTest fixture for the same pattern).
+    const std::string dir = ::testing::TempDir()
+        + "schedtask_sweep_traces." + std::to_string(::getpid());
 
     const auto build = [] {
         Sweep sweep;

@@ -62,3 +62,37 @@ TEST(TraceCache, SmallLoopHitsAfterWarmup)
             hits += tc.access(t * 256) ? 1 : 0;
     EXPECT_EQ(hits, 80u);
 }
+
+TEST(TraceCache, ResetStatsRebasesCountersKeepingBuildClock)
+{
+    TraceCache tc(TraceCacheParams{64, 4, 4});
+    tc.access(0x1000); // builds the trace
+    tc.resetStats();
+    EXPECT_EQ(tc.accesses(), 0u);
+    EXPECT_EQ(tc.hits(), 0u);
+    // The build must still be in flight: a reset that zeroed the
+    // raw access clock would wrap the age arithmetic and retire the
+    // trace instantly.
+    EXPECT_FALSE(tc.access(0x1000));
+    EXPECT_EQ(tc.accesses(), 1u);
+    // Aging still works across the rebase.
+    for (Addr a = 0; a < 20; ++a)
+        tc.access(0x900000 + a * 0x100);
+    EXPECT_TRUE(tc.access(0x1000));
+    EXPECT_EQ(tc.hits(), 1u);
+}
+
+TEST(TraceCache, ChurnKeepsBuildTableBounded)
+{
+    // The build-time table must track residency exactly: insert()
+    // reports evictions at the trace super-block alignment, which is
+    // the same key the table uses, so heavy churn through many more
+    // traces than the cache holds cannot grow the table past the
+    // trace capacity.
+    const TraceCacheParams p{32, 4, 4};
+    TraceCache tc(p);
+    for (int round = 0; round < 8; ++round)
+        for (Addr t = 0; t < 4096; ++t)
+            tc.access(t * 256 + (t % 4) * 64);
+    EXPECT_LE(tc.trackedTraces(), p.traces);
+}

@@ -4,14 +4,14 @@
 # micro_perf simulator-throughput benchmark (the fig07/fig09 fast
 # sweeps), writes the result JSON, and fails when any scenario's
 # wall time regresses more than the threshold against the committed
-# baseline (BENCH_pr7.json by default).
+# baseline (BENCH_pr8.json by default).
 #
 # Usage:
 #   tools/perf_gate.sh                      # gate against baseline
 #   tools/perf_gate.sh --update             # refresh the baseline
 #
 # Environment:
-#   PERF_GATE_BASELINE   baseline JSON (default BENCH_pr7.json)
+#   PERF_GATE_BASELINE   baseline JSON (default BENCH_pr8.json)
 #   PERF_GATE_OUT        result JSON (default <tmp>/bench.json)
 #   PERF_GATE_THRESHOLD  max wall-time regression in percent
 #                        (default 10; CI smoke uses a generous 50
@@ -33,7 +33,7 @@
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
 
-BASELINE="${PERF_GATE_BASELINE:-BENCH_pr7.json}"
+BASELINE="${PERF_GATE_BASELINE:-BENCH_pr8.json}"
 THRESHOLD="${PERF_GATE_THRESHOLD:-10}"
 REPEAT="${PERF_GATE_REPEAT:-3}"
 JOBS="${JOBS:-$(nproc)}"
@@ -60,8 +60,10 @@ else
 fi
 
 SIMD="${SCHEDTASK_SIMD:-auto}"
-step "run micro_perf (repeat=$REPEAT, best wall time kept, simd=$SIMD)"
-SCHEDTASK_SIMD="$SIMD" \
+L0="${SCHEDTASK_L0:-auto}"
+step "run micro_perf (repeat=$REPEAT, best wall time kept," \
+     "simd=$SIMD, l0=$L0)"
+SCHEDTASK_SIMD="$SIMD" SCHEDTASK_L0="$L0" \
     ./build-default/bench/micro_perf --repeat "$REPEAT" --out "$OUT"
 
 if [ "$UPDATE" -eq 1 ]; then
